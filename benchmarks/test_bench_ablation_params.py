@@ -1,0 +1,148 @@
+"""Ablations around the paper's operating point.
+
+* grid cell size — "The size can be adjusted depending on a venue size
+  and a required granularity - typically between 10cm and 50cm" (Sec. IV);
+* OBSTACLE_THRESHOLD — the paper sets 4;
+* COVERED_VIEW_TOLERANCE / MIN_AREA_SIZE — "Having smaller value would
+  yield higher coverage rates, however, this would increase the number of
+  tasks and collected photos" (Sec. V-C2).
+
+All ablations run on one fixed photo dataset so only the parameter under
+study varies.
+"""
+
+import numpy as np
+import pytest
+
+from repro.camera import GALAXY_S7
+from repro.core import find_unvisited
+from repro.eval import Workbench
+from repro.geometry import Vec2
+from repro.mapping import (
+    CoverageMaps,
+    calculate_obstacles_map,
+    calculate_visibility_map,
+    outer_bounds_report,
+)
+from repro.sfm import IncrementalSfm, sor_filter
+from repro.simkit import RngStream
+from repro.venue.ground_truth import build_ground_truth, default_grid_spec
+
+from .conftest import write_result
+
+SWEEP_CENTERS = [(3, 3), (8, 3.7), (13, 6.4), (18.8, 4.7), (10.7, 12.2), (4, 9)]
+
+
+@pytest.fixture(scope="module")
+def fixed_model():
+    """One reconstruction reused by every ablation."""
+    bench = Workbench.for_library()
+    engine = IncrementalSfm(bench.world, bench.config.sfm, RngStream(11, "ablation"))
+    for center in SWEEP_CENTERS:
+        engine.add_photos(
+            list(bench.capture.sweep(Vec2(*center), GALAXY_S7, 8.0, blur=0.0))
+        )
+    model = engine.model()
+    cloud = sor_filter(model.cloud, bench.config.sfm.sor_neighbors, bench.config.sfm.sor_std_ratio)
+    return bench, model, cloud
+
+
+def test_ablation_cell_size(benchmark, fixed_model, results_dir):
+    bench, model, cloud = fixed_model
+
+    def sweep_cell_sizes():
+        rows = []
+        for cell in (0.10, 0.15, 0.30, 0.50):
+            spec = default_grid_spec(bench.venue, cell)
+            gt = build_ground_truth(bench.venue, spec)
+            obstacles = calculate_obstacles_map(cloud, spec, 4)
+            visibility = calculate_visibility_map(
+                model, obstacles, bench.config.sfm.visibility_range_m
+            )
+            maps = CoverageMaps(obstacles, visibility)
+            covered = int((maps.covered_mask() & gt.region_mask).sum())
+            rows.append(
+                (
+                    cell,
+                    spec.n_rows * spec.n_cols,
+                    100.0 * covered / gt.region_cells,
+                    outer_bounds_report(bench.venue, obstacles).percent,
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep_cell_sizes, rounds=1, iterations=1)
+    lines = ["Ablation: grid cell size (paper operating point: 15 cm)", ""]
+    lines.append(f"{'cell':>6} {'grid cells':>11} {'coverage %':>11} {'bounds %':>9}")
+    for cell, n_cells, coverage, bounds in rows:
+        lines.append(f"{cell:>5.2f}m {n_cells:>11} {coverage:>10.2f}% {bounds:>8.2f}%")
+    write_result(results_dir, "ablation_cell_size", "\n".join(lines))
+
+    coverages = [c for _cell, _n, c, _b in rows]
+    # Coarser cells over-count coverage (each covered cell is larger).
+    assert coverages[-1] >= coverages[0] - 5.0
+
+
+def test_ablation_obstacle_threshold(benchmark, fixed_model, results_dir):
+    bench, model, cloud = fixed_model
+    spec = bench.spec
+
+    def sweep_thresholds():
+        rows = []
+        for threshold in (1, 2, 4, 8, 16):
+            obstacles = calculate_obstacles_map(cloud, spec, threshold)
+            bounds = outer_bounds_report(bench.venue, obstacles).percent
+            rows.append((threshold, obstacles.nonzero_count(), bounds))
+        return rows
+
+    rows = benchmark.pedantic(sweep_thresholds, rounds=1, iterations=1)
+    lines = ["Ablation: OBSTACLE_THRESHOLD (paper: 4)", ""]
+    lines.append(f"{'threshold':>10} {'obstacle cells':>15} {'bounds %':>9}")
+    for threshold, cells, bounds in rows:
+        lines.append(f"{threshold:>10} {cells:>15} {bounds:>8.2f}%")
+    write_result(results_dir, "ablation_obstacle_threshold", "\n".join(lines))
+
+    cells = [c for _t, c, _b in rows]
+    assert cells == sorted(cells, reverse=True), "higher threshold -> fewer obstacles"
+
+
+def test_ablation_task_generation_params(benchmark, fixed_model, results_dir):
+    bench, model, cloud = fixed_model
+    spec = bench.spec
+    obstacles = calculate_obstacles_map(cloud, spec, 4)
+    visibility = calculate_visibility_map(
+        model, obstacles, bench.config.sfm.visibility_range_m
+    )
+
+    def sweep_params():
+        rows = []
+        for tolerance in (1, 3, 5):
+            for min_area_m2 in (1.0, 2.25, 9.0):
+                min_cells = max(1, int(round(min_area_m2 / spec.cell_area_m2)))
+                areas = find_unvisited(
+                    obstacles,
+                    visibility,
+                    bench.venue.entrance,
+                    max_areas=50,
+                    covered_view_tolerance=tolerance,
+                    min_area_cells=min_cells,
+                    site_mask=bench.ground_truth.region_mask,
+                    expansion_cap_cells=min_cells * 8,
+                )
+                rows.append((tolerance, min_area_m2, len(areas)))
+        return rows
+
+    rows = benchmark.pedantic(sweep_params, rounds=1, iterations=1)
+    lines = [
+        "Ablation: COVERED_VIEW_TOLERANCE x MIN_AREA_SIZE (paper: 3, 2.25 m^2)",
+        "",
+        f"{'tolerance':>10} {'min area':>9} {'areas found':>12}",
+    ]
+    for tolerance, area, count in rows:
+        lines.append(f"{tolerance:>10} {area:>7.2f}m2 {count:>12}")
+    write_result(results_dir, "ablation_task_generation", "\n".join(lines))
+
+    by_key = {(t, a): n for t, a, n in rows}
+    # Larger MIN_AREA_SIZE -> fewer (or equal) candidate task areas.
+    for tolerance in (1, 3, 5):
+        assert by_key[(tolerance, 9.0)] <= by_key[(tolerance, 1.0)]

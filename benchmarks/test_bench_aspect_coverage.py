@@ -1,0 +1,61 @@
+"""Aspect coverage (Fig. 4) across the three collection approaches.
+
+"In order to fully cover a particular aspect, one has to take photos or
+videos that would cover all sides of that aspect" — the property the
+guided 360° capture is designed for. This bench computes, for each
+approach's final model, how many distinct viewing directions cover each
+cell and what fraction of the venue is seen from >= 4 of 8 directions.
+"""
+
+from repro.mapping.aspects import calculate_aspect_coverage
+
+from .conftest import write_result
+
+
+def test_aspect_coverage(
+    benchmark, guided_result, unguided_result, opportunistic_result, results_dir
+):
+    bench, guided = guided_result
+
+    def compute():
+        results = {}
+        for label, final_maps, model in (
+            ("SnapTask", guided.final_maps, guided.run.completed[-1].outcome.model),
+            ("Unguided participatory", unguided_result.final_maps, unguided_result.final_model),
+            ("Opportunistic", opportunistic_result.final_maps, opportunistic_result.final_model),
+        ):
+            results[label] = calculate_aspect_coverage(
+                model,
+                final_maps.obstacles,
+                bench.config.sfm.visibility_range_m,
+            )
+        return results
+
+    results = benchmark.pedantic(compute, rounds=1, iterations=1)
+    region = bench.ground_truth.region_mask
+
+    lines = [
+        "Aspect coverage (Fig. 4 concept): directions each cell is seen from",
+        "",
+        f"{'approach':>24} {'>=1 dir':>9} {'>=4 dirs':>9} {'mean dirs':>10}",
+    ]
+    stats = {}
+    for label, aspects in results.items():
+        any_f = aspects.fully_covered_fraction(region, min_aspects=1)
+        full_f = aspects.fully_covered_fraction(region, min_aspects=4)
+        mean_a = aspects.mean_aspects(region)
+        stats[label] = (any_f, full_f, mean_a)
+        lines.append(
+            f"{label:>24} {100 * any_f:>8.2f}% {100 * full_f:>8.2f}% {mean_a:>10.2f}"
+        )
+    lines.append("")
+    lines.append(
+        "guided collection guarantees breadth (>=1 direction almost "
+        "everywhere); the unguided baseline's hotspot redundancy yields "
+        "high aspect counts only where it covers at all, and opportunistic "
+        "trails on both."
+    )
+    write_result(results_dir, "aspect_coverage", "\n".join(lines))
+
+    assert stats["SnapTask"][1] > stats["Opportunistic"][1]
+    assert stats["SnapTask"][2] > 2.0

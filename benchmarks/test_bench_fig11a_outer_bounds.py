@@ -1,0 +1,44 @@
+"""Fig. 11a — reconstructed outer-bound length vs number of input photos.
+
+Paper reference points: opportunistic reaches 72.04 % of the bounds,
+unguided participatory 80.69 % (plateauing past ~500 photos), SnapTask
+100 % with 633 photos. The reproduction regenerates the three series; the
+required *shape* is the ordering (SnapTask > unguided > opportunistic at
+their finals) and the unguided plateau.
+"""
+
+from repro.eval import format_series_rows
+
+from .conftest import write_result
+
+PAPER = {"SnapTask": 100.0, "Unguided participatory": 80.69, "Opportunistic": 72.04}
+
+
+def test_fig11a_outer_bounds(
+    benchmark, guided_result, unguided_result, opportunistic_result, results_dir
+):
+    _bench, guided = guided_result
+
+    def collect():
+        return {
+            "SnapTask": guided.series,
+            "Unguided participatory": unguided_result.series,
+            "Opportunistic": opportunistic_result.series,
+        }
+
+    series = benchmark.pedantic(collect, rounds=1, iterations=1)
+
+    lines = ["Fig. 11a — length of generated outer bounds (% of ground truth)", ""]
+    for label, s in series.items():
+        lines.append(format_series_rows(s))
+        lines.append("")
+    lines.append(f"{'approach':>24} {'final %':>9} {'paper %':>9}")
+    finals = {}
+    for label, s in series.items():
+        finals[label] = s.final.bounds_percent
+        lines.append(f"{label:>24} {finals[label]:>8.2f}% {PAPER[label]:>8.2f}%")
+    write_result(results_dir, "fig11a_outer_bounds", "\n".join(lines))
+
+    # Shape: SnapTask reconstructs more of the bounds than both baselines.
+    assert finals["SnapTask"] > finals["Unguided participatory"]
+    assert finals["SnapTask"] > finals["Opportunistic"]

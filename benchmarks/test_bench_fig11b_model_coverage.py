@@ -1,0 +1,54 @@
+"""Fig. 11b — model coverage (obstacles + visibility) vs input photos.
+
+Paper reference points: opportunistic peaks at 63.67 %, unguided
+participatory converges around 500 photos at 77.4 %, SnapTask expands
+gradually to 98.12 %. The reproduction must preserve the ordering and the
+baselines' plateau behaviour.
+"""
+
+from repro.eval import format_series_rows
+
+from .conftest import write_result
+
+PAPER = {"SnapTask": 98.12, "Unguided participatory": 77.4, "Opportunistic": 63.67}
+
+
+def test_fig11b_model_coverage(
+    benchmark, guided_result, unguided_result, opportunistic_result, results_dir
+):
+    _bench, guided = guided_result
+
+    def collect():
+        return {
+            "SnapTask": guided.series,
+            "Unguided participatory": unguided_result.series,
+            "Opportunistic": opportunistic_result.series,
+        }
+
+    series = benchmark.pedantic(collect, rounds=1, iterations=1)
+
+    lines = ["Fig. 11b — model coverage (% of ground-truth cells)", ""]
+    for label, s in series.items():
+        lines.append(format_series_rows(s))
+        lines.append("")
+    finals = {label: s.final.coverage_percent for label, s in series.items()}
+    lines.append(f"{'approach':>24} {'final %':>9} {'paper %':>9}")
+    for label, value in finals.items():
+        lines.append(f"{label:>24} {value:>8.2f}% {PAPER[label]:>8.2f}%")
+
+    # Plateau check for the unguided baseline ("converges at around 500
+    # images"): the last 300 photos add little coverage.
+    unguided_series = series["Unguided participatory"]
+    at_500 = [
+        s.coverage_percent
+        for s in unguided_series.samples
+        if s.n_photos >= 500
+    ]
+    plateau_gain = (at_500[-1] - at_500[0]) if len(at_500) >= 2 else 0.0
+    lines.append("")
+    lines.append(f"unguided plateau gain past 500 photos: {plateau_gain:.2f} points")
+    write_result(results_dir, "fig11b_model_coverage", "\n".join(lines))
+
+    assert finals["SnapTask"] > finals["Unguided participatory"]
+    assert finals["Unguided participatory"] > finals["Opportunistic"]
+    assert plateau_gain < 12.0

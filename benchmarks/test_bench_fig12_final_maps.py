@@ -1,0 +1,84 @@
+"""Fig. 12 — final visibility/obstacle maps of the three approaches vs GT.
+
+The paper's qualitative claims for this figure:
+* baselines miss parts of the outer wall, notably the glass region;
+* "a room in a top right corner was visited by very few participants" in
+  the unguided dataset;
+* "only our guided approach was able to pinpoint the missing glass wall
+  locations and ... complete the wall boundary there."
+"""
+
+import numpy as np
+
+from repro.mapping import CoverageMaps, Grid2D, render_ascii
+
+from .conftest import write_result
+
+
+def _annex_coverage(bench, maps: CoverageMaps) -> float:
+    """Covered fraction of the top-right annex room."""
+    spec = maps.spec
+    covered = maps.covered_mask() & bench.ground_truth.region_mask
+    region = bench.ground_truth.region_mask.copy()
+    rows, cols = np.nonzero(region)
+    xs = spec.origin_x + (cols + 0.5) * spec.cell_size_m
+    ys = spec.origin_y + (rows + 0.5) * spec.cell_size_m
+    in_annex = (xs > 16.0) & (ys > 14.0)
+    annex_cells = list(zip(rows[in_annex], cols[in_annex]))
+    if not annex_cells:
+        return 0.0
+    hit = sum(1 for cell in annex_cells if covered[cell])
+    return hit / len(annex_cells)
+
+
+def _glass_bounds_percent(bench, maps: CoverageMaps) -> float:
+    """Reconstructed fraction of the glass outer walls only."""
+    from repro.mapping import outer_bounds_report
+
+    report = outer_bounds_report(bench.venue, maps.obstacles)
+    glass = [(label, got, total) for label, got, total in report.per_wall if "glass" in label]
+    total = sum(t for _l, _g, t in glass)
+    got = sum(g for _l, g, _t in glass)
+    return 100.0 * got / total if total else 0.0
+
+
+def test_fig12_final_maps(
+    benchmark, guided_result, unguided_result, opportunistic_result, results_dir
+):
+    bench, guided = guided_result
+
+    def assemble():
+        return {
+            "SnapTask": guided.final_maps,
+            "Unguided participatory": unguided_result.final_maps,
+            "Opportunistic": opportunistic_result.final_maps,
+        }
+
+    final_maps = benchmark.pedantic(assemble, rounds=1, iterations=1)
+
+    gt_grid = bench.ground_truth.obstacles_grid()
+    gt_visibility = Grid2D(bench.spec)
+    gt_visibility.data[bench.ground_truth.traversable_mask] = 1.0
+    final_maps["Ground truth"] = CoverageMaps(gt_grid, gt_visibility)
+
+    lines = ["Fig. 12 — final maps (ASCII: '#' obstacles, '.' visible)", ""]
+    stats = {}
+    for label, maps in final_maps.items():
+        lines.append(f"--- {label} ---")
+        lines.append(render_ascii(maps, bench.ground_truth.region_mask, max_width=90))
+        if label != "Ground truth":
+            stats[label] = (
+                _annex_coverage(bench, maps),
+                _glass_bounds_percent(bench, maps),
+            )
+        lines.append("")
+
+    lines.append(f"{'approach':>24} {'annex covered':>14} {'glass bounds':>13}")
+    for label, (annex, glass) in stats.items():
+        lines.append(f"{label:>24} {100 * annex:>13.1f}% {glass:>12.1f}%")
+    write_result(results_dir, "fig12_final_maps", "\n".join(lines))
+
+    # The paper's qualitative claims.
+    assert stats["SnapTask"][0] > stats["Unguided participatory"][0]
+    assert stats["SnapTask"][1] > stats["Unguided participatory"][1]
+    assert stats["SnapTask"][1] > stats["Opportunistic"][1]

@@ -1,0 +1,102 @@
+"""Figs. 8 & 9 — participant paths and generated task positions.
+
+Fig. 8: opportunistic walking paths with the camera positions of the
+extracted frames — concentrated along hotspot-to-hotspot routes.
+Fig. 9: the positions of the generated crowdsourcing tasks on the floor
+plan — photo tasks spread over the venue, annotation tasks (green
+diamonds in the paper) at the glass walls and the featureless meeting-room
+wall.
+"""
+
+from repro.crowd import make_participants
+from repro.eval import Workbench
+from repro.eval.paths import (
+    path_statistics,
+    render_photo_positions,
+    render_task_positions,
+)
+from repro.geometry import Vec2
+
+from .conftest import write_result
+
+
+def test_fig8_opportunistic_paths(benchmark, results_dir):
+    bench = Workbench.for_library()
+    collector = bench.make_opportunistic_collector()
+    participants = make_participants(10, bench.rng.stream("fig8-cohort"))
+
+    dataset = benchmark.pedantic(
+        lambda: collector.collect(participants, n_videos=20), rounds=1, iterations=1
+    )
+
+    art = render_photo_positions(
+        bench.spec, dataset.photos, bench.ground_truth.region_mask, max_width=100
+    )
+    stats = path_statistics(list(dataset.photos))
+    lines = [
+        "Fig. 8 — opportunistic participants' paths ('o' = extracted frame)",
+        f"{dataset.n_videos} videos, {dataset.total_video_s:.0f} s of video, "
+        f"{dataset.n_raw_frames} raw frames -> {dataset.n_photos} extracted "
+        f"(paper: 20 videos, 369 s, 700 frames)",
+        "",
+        art,
+        "",
+        f"position spread: {stats['spread_m']:.2f} m",
+    ]
+    write_result(results_dir, "fig8_opportunistic_paths", "\n".join(lines))
+
+    # Paths stay inside the venue and concentrate (hotspot bias).
+    assert dataset.n_photos > 300
+    for photo in dataset.photos:
+        assert bench.venue.outer.contains(photo.true_pose.position)
+
+
+def test_fig9_task_positions(benchmark, guided_result, results_dir):
+    bench, guided = guided_result
+
+    def assemble():
+        arrived = [
+            record.arrived_at
+            for record in guided.run.completed
+            if record.arrived_at is not None
+        ]
+        return guided.task_locations, arrived
+
+    locations, arrived = benchmark.pedantic(assemble, rounds=1, iterations=1)
+
+    art = render_task_positions(
+        bench.spec,
+        locations,
+        arrived,
+        bench.ground_truth.region_mask,
+        max_width=100,
+    )
+    n_photo = sum(1 for kind, _x, _y in locations if kind != "annotation")
+    n_annotation = len(locations) - n_photo
+    lines = [
+        "Fig. 9 — generated task positions",
+        "('T' photo task, 'A' annotation task, 'x' actual capture position)",
+        f"{n_photo} photo tasks, {n_annotation} annotation tasks "
+        f"(paper: 11 and 6)",
+        "",
+        art,
+    ]
+    # The paper's observation: annotation tasks sit near featureless walls.
+    distances = []
+    for kind, x, y in locations:
+        if kind == "annotation":
+            surface = bench.venue.nearest_featureless_surface(Vec2(x, y))
+            distances.append(surface.segment.distance_to_point(Vec2(x, y)))
+    if distances:
+        near = sum(1 for d in distances if d < 6.0)
+        lines.append("")
+        lines.append(
+            f"annotation tasks within 6 m of a featureless surface: "
+            f"{near}/{len(distances)}"
+        )
+    write_result(results_dir, "fig9_task_positions", "\n".join(lines))
+
+    assert n_photo > 0 and n_annotation > 0
+    # Most annotation tasks are generated near featureless geometry.
+    if distances:
+        assert sum(1 for d in distances if d < 6.0) >= len(distances) / 2

@@ -1,0 +1,102 @@
+"""Performance of the computational kernels.
+
+The paper motivates guided collection partly by compute cost: "SfM
+algorithms are highly compute intensive with an exponentially increasing
+processing time" (Sec. II-A), so redundant crowdsourced photos directly
+waste backend resources. These benches time the simulator's kernels —
+capture, registration, map building, outlier filtering — per batch.
+"""
+
+import numpy as np
+import pytest
+
+from repro.camera import GALAXY_S7, CameraPose
+from repro.eval import Workbench
+from repro.geometry import Vec2
+from repro.mapping import calculate_obstacles_map, calculate_visibility_map
+from repro.sfm import IncrementalSfm, sor_filter
+from repro.simkit import RngStream
+
+
+@pytest.fixture(scope="module")
+def perf_bench():
+    return Workbench.for_library()
+
+
+@pytest.fixture(scope="module")
+def perf_model(perf_bench):
+    engine = IncrementalSfm(
+        perf_bench.world, perf_bench.config.sfm, RngStream(31, "perf")
+    )
+    for center in [(3, 3), (8, 3.7), (13, 6.4), (10.7, 12.2)]:
+        engine.add_photos(
+            list(perf_bench.capture.sweep(Vec2(*center), GALAXY_S7, 8.0, blur=0.0))
+        )
+    return engine.model()
+
+
+def test_perf_capture_single_photo(benchmark, perf_bench):
+    pose = CameraPose.at(10.0, 1.7, -1.57)
+    benchmark(
+        perf_bench.capture.take_photo, pose, GALAXY_S7, 0.05
+    )
+
+
+def test_perf_sfm_register_sweep(benchmark, perf_bench):
+    """Registering one 45-photo 360-degree batch into a fresh model."""
+
+    def build_and_register():
+        engine = IncrementalSfm(
+            perf_bench.world, perf_bench.config.sfm, RngStream(32, "perf-reg")
+        )
+        photos = list(
+            perf_bench.capture.sweep(Vec2(3, 3), GALAXY_S7, 8.0, blur=0.0)
+        )
+        return engine.add_photos(photos).total_points
+
+    result = benchmark.pedantic(build_and_register, rounds=3, iterations=1)
+    assert result > 100
+
+
+def test_perf_obstacles_map(benchmark, perf_bench, perf_model):
+    cloud = sor_filter(perf_model.cloud)
+    grid = benchmark(calculate_obstacles_map, cloud, perf_bench.spec, 4)
+    assert grid.nonzero_count() > 0
+
+
+def test_perf_visibility_map(benchmark, perf_bench, perf_model):
+    obstacles = calculate_obstacles_map(perf_model.cloud, perf_bench.spec, 4)
+    grid = benchmark(
+        calculate_visibility_map,
+        perf_model,
+        obstacles,
+        perf_bench.config.sfm.visibility_range_m,
+    )
+    assert grid.nonzero_count() > 0
+
+
+def test_perf_sor_filter(benchmark, perf_model):
+    filtered = benchmark(sor_filter, perf_model.cloud)
+    assert len(filtered) > 0
+
+
+def test_perf_dbscan(benchmark):
+    from repro.annotation import dbscan
+
+    rng = np.random.default_rng(0)
+    points = np.vstack(
+        [rng.normal(c, 20.0, size=(60, 2)) for c in ((0, 0), (500, 500), (900, 100))]
+    )
+    labels = benchmark(dbscan, points, 60.0, 4)
+    assert labels.max() >= 2
+
+
+def test_perf_kmeans(benchmark):
+    from repro.annotation import kmeans
+
+    rng = np.random.default_rng(1)
+    points = np.vstack(
+        [rng.normal(c, 15.0, size=(60, 2)) for c in ((0, 0), (300, 0), (300, 300), (0, 300))]
+    )
+    result = benchmark(kmeans, points, 4, RngStream(1, "perf-km"))
+    assert result.centroids.shape == (4, 2)

@@ -1,0 +1,9 @@
+"""Setup shim for offline editable installs (no `wheel` package available).
+
+`pip install -e . --no-build-isolation --no-use-pep517` uses this file;
+all metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,22 @@
+"""repro — a full reproduction of SnapTask (ICDCS 2018).
+
+SnapTask is a guided visual-crowdsourcing system for building complete
+indoor maps: it reconstructs 3-D models from crowdsourced photos with
+Structure-from-Motion, converts them into obstacle/visibility maps, and
+generates photo-collection and annotation tasks exactly where the map is
+still incomplete.
+
+This package implements the paper's full pipeline plus every substrate it
+depends on (venue/world simulation, camera capture, an SfM simulator,
+OctoMap-style mapping, clustering, crowd behaviour models, an event-driven
+client/server layer) and the benchmark harness that regenerates every
+table and figure of the evaluation. See DESIGN.md for the system
+inventory and EXPERIMENTS.md for paper-vs-measured results.
+"""
+
+from .config import DEFAULT_CONFIG, SnapTaskConfig, paper_config
+from .errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = ["DEFAULT_CONFIG", "ReproError", "SnapTaskConfig", "paper_config", "__version__"]

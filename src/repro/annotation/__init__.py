@@ -1,0 +1,55 @@
+"""Featureless-surface annotation: clustering, fusion, texture imprinting."""
+
+from .bounds import FusedObject, get_marked_obstacle_bounds, order_corners
+from .clustering import (
+    NOISE,
+    KMeansResult,
+    cluster_centroids,
+    dbscan,
+    kmeans,
+    largest_cluster_centroid,
+)
+from .processor import AnnotationProcessor, ProcessedAnnotation
+from .imprint import (
+    ImprintResult,
+    ImprintedObject,
+    identify_annotated_surface,
+    reconstruct_featureless_surfaces,
+)
+from .textures import FEATURES_PER_TEXTURE, ArtificialTexture, TextureDatabase
+from .tool import AnnotationCampaign, AnnotationTaskResult
+from .workers import (
+    MAX_ANNOTATION_DISTANCE_M,
+    CornerAnnotation,
+    WorkerPool,
+    annotate_surface,
+    visible_featureless_surfaces,
+)
+
+__all__ = [
+    "AnnotationCampaign",
+    "AnnotationProcessor",
+    "ProcessedAnnotation",
+    "AnnotationTaskResult",
+    "ArtificialTexture",
+    "CornerAnnotation",
+    "FEATURES_PER_TEXTURE",
+    "FusedObject",
+    "ImprintResult",
+    "ImprintedObject",
+    "KMeansResult",
+    "MAX_ANNOTATION_DISTANCE_M",
+    "NOISE",
+    "TextureDatabase",
+    "WorkerPool",
+    "annotate_surface",
+    "cluster_centroids",
+    "dbscan",
+    "get_marked_obstacle_bounds",
+    "identify_annotated_surface",
+    "kmeans",
+    "largest_cluster_centroid",
+    "order_corners",
+    "reconstruct_featureless_surfaces",
+    "visible_featureless_surfaces",
+]

@@ -1,0 +1,140 @@
+"""Algorithm 5: "Get marked obstacle bounds".
+
+    1: N <= {}
+    2: for pSet in P:
+    3:   C <= find annotation A[pSet[0]] center
+    4:   center_clusters <= cluster(C)            // DBSCAN: distinct objects
+    5:   for photo in pSet:
+    7:     for center in center_clusters:
+    8:       alpha <= A[photo] corresponding to center
+    9:       obstacles[i] <= alpha
+   11:     for o in obstacles:
+   12:       k_sets = kmeans(o, 4)                 // 4 clusters for 4 points
+   13:       corner_points = cluster(k_sets)       // DBSCAN pinpoints corners
+   14:       N[photo, o] <= corner_points
+
+"The participants may have labelled different obstacles and with variable
+precision, thus, we design our algorithm to robustly detect and combine
+annotations of objects inside images." Correspondence between photos uses
+worker identity: a worker whose first-photo annotation falls in cluster k
+is annotating object k everywhere (the tool instructs workers to mark the
+exact same corners in every photo).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..config import AnnotationConfig
+from ..errors import AnnotationError
+from ..simkit.rng import RngStream
+from .clustering import dbscan, kmeans, largest_cluster_centroid
+from .workers import CornerAnnotation
+
+
+@dataclass(frozen=True)
+class FusedObject:
+    """One distinct annotated object with fused corners per photo."""
+
+    object_index: int
+    worker_ids: Tuple[int, ...]
+    corners_by_photo: Dict[int, np.ndarray]  # photo_id -> (4, 2) pixels
+
+    @property
+    def n_photos(self) -> int:
+        return len(self.corners_by_photo)
+
+
+def order_corners(corners: np.ndarray) -> np.ndarray:
+    """Canonical corner order: counter-clockwise from the top-left.
+
+    k-means labels are arbitrary, but texture imprinting needs corner j of
+    photo A to correspond to corner j of photo B.
+    """
+    corners = np.asarray(corners, dtype=float).reshape(4, 2)
+    center = corners.mean(axis=0)
+    angles = np.arctan2(corners[:, 1] - center[1], corners[:, 0] - center[0])
+    ordered = corners[np.argsort(angles)]
+    start = int(np.argmin(ordered[:, 0] + ordered[:, 1]))
+    return np.roll(ordered, -start, axis=0)
+
+
+def get_marked_obstacle_bounds(
+    photos_order: Sequence[int],
+    annotations: Dict[int, List[CornerAnnotation]],
+    config: AnnotationConfig,
+    rng: RngStream,
+) -> List[FusedObject]:
+    """Fuse one photo set's annotations into per-object corner bounds.
+
+    ``photos_order`` is the capture order; the first photo anchors object
+    identification (Algorithm 5 line 3). Objects whose first-photo cluster
+    has fewer than ``dbscan_center_min_samples`` workers are rejected as
+    unreliable.
+    """
+    if not photos_order:
+        raise AnnotationError("empty photo set")
+    first = annotations.get(photos_order[0], [])
+    if not first:
+        return []
+
+    centers = np.array([a.center_px for a in first])
+    labels = dbscan(
+        centers, config.dbscan_center_eps_px, config.dbscan_center_min_samples
+    )
+
+    objects: List[FusedObject] = []
+    n_clusters = int(labels.max()) + 1 if labels.size else 0
+    for cluster_id in range(n_clusters):
+        worker_ids = tuple(
+            sorted(a.worker_id for a, lab in zip(first, labels) if lab == cluster_id)
+        )
+        if len(worker_ids) < config.dbscan_center_min_samples:
+            continue
+        corners_by_photo: Dict[int, np.ndarray] = {}
+        for photo_id in photos_order:
+            cluster_annotations = [
+                a
+                for a in annotations.get(photo_id, [])
+                if a.worker_id in worker_ids
+            ]
+            if len(cluster_annotations) < 2:
+                continue  # too little agreement to fuse this photo
+            fused = _fuse_corners(cluster_annotations, config, rng.child(f"obj{cluster_id}-p{photo_id}"))
+            if fused is not None:
+                corners_by_photo[photo_id] = fused
+        if corners_by_photo:
+            objects.append(
+                FusedObject(
+                    object_index=len(objects),
+                    worker_ids=worker_ids,
+                    corners_by_photo=corners_by_photo,
+                )
+            )
+    return objects
+
+
+def _fuse_corners(
+    cluster_annotations: List[CornerAnnotation],
+    config: AnnotationConfig,
+    rng: RngStream,
+) -> Optional[np.ndarray]:
+    """k-means(4) + DBSCAN pinpointing over one object's corner marks."""
+    points = np.vstack([a.corners_array() for a in cluster_annotations])
+    try:
+        km = kmeans(points, config.kmeans_clusters, rng, config.kmeans_max_iter)
+    except AnnotationError:
+        return None
+    corners: List[np.ndarray] = []
+    for j in range(config.kmeans_clusters):
+        members = points[km.labels == j]
+        if members.shape[0] == 0:
+            return None
+        pinpointed = largest_cluster_centroid(
+            members, config.dbscan_corner_eps_px, config.dbscan_corner_min_samples
+        )
+        corners.append(pinpointed if pinpointed is not None else members.mean(axis=0))
+    return order_corners(np.vstack(corners))

@@ -1,0 +1,93 @@
+"""Server-side annotation processing.
+
+In the deployment (Sec. III), the *online annotation tool* and the fusion
+pipeline live on the backend: "The photos and annotations are then sent to
+the backend server for processing." :class:`AnnotationProcessor` is that
+server-side piece — given an uploaded photo set it collects the crowd
+workers' labels, fuses them with Algorithm 5 and imprints textures with
+Algorithm 6. Both the in-process campaign and the client/server backend
+share it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..camera.photo import Photo
+from ..config import SnapTaskConfig
+from ..simkit.rng import RngStream
+from ..venue.model import Venue
+from .bounds import FusedObject, get_marked_obstacle_bounds
+from .imprint import ImprintResult, reconstruct_featureless_surfaces
+from .textures import TextureDatabase
+from .workers import WorkerPool
+
+
+@dataclass(frozen=True)
+class ProcessedAnnotation:
+    """Output of server-side annotation processing for one photo set."""
+
+    n_annotations: int
+    objects: Tuple[FusedObject, ...]
+    imprint: ImprintResult
+
+
+class AnnotationProcessor:
+    """Runs workers + Algorithm 5 + Algorithm 6 on uploaded photo sets."""
+
+    def __init__(
+        self,
+        venue: Venue,
+        config: SnapTaskConfig,
+        rng: RngStream,
+        database: Optional[TextureDatabase] = None,
+    ):
+        self._venue = venue
+        self._config = config
+        self._rng = rng
+        self._database = database if database is not None else TextureDatabase()
+        self._workers = WorkerPool(venue, config.annotation, rng.child("workers"))
+        self._set_counter = 0
+
+    @property
+    def database(self) -> TextureDatabase:
+        return self._database
+
+    def process(self, photos: Sequence[Photo]) -> ProcessedAnnotation:
+        """Label, fuse and imprint one annotated photo set."""
+        self._set_counter += 1
+        set_rng = self._rng.child(f"set-{self._set_counter}")
+        photos = list(photos)
+        annotations = self._workers.annotate_photo_set(photos)
+        n_annotations = sum(len(v) for v in annotations.values())
+        objects = get_marked_obstacle_bounds(
+            [p.photo_id for p in photos],
+            annotations,
+            self._config.annotation,
+            set_rng.child("fusion"),
+        )
+        imprint = reconstruct_featureless_surfaces(
+            photos,
+            objects,
+            self._venue.featureless_surfaces(),
+            self._database,
+            self._config.annotation,
+            set_rng.child("imprint"),
+        )
+        return ProcessedAnnotation(
+            n_annotations=n_annotations,
+            objects=tuple(objects),
+            imprint=imprint,
+        )
+
+    @staticmethod
+    def split_batch(photos: Sequence[Photo]) -> Tuple[List[Photo], List[Photo]]:
+        """Split an uploaded annotation batch into (annotated, context).
+
+        The mobile client tags the frames it wants labelled with source
+        "annotation"; panned context shots carry "annotation-context".
+        """
+        annotated = [p for p in photos if p.source.startswith("annotation") and "context" not in p.source and "empty" not in p.source]
+        context = [p for p in photos if p not in annotated]
+        return annotated, context

@@ -1,0 +1,91 @@
+"""The artificial texture database (Algorithm 6's ``DB``).
+
+"We then choose unique distinctive textures from an artificial texture
+database to imprint on annotated images ... Since we use distinctive
+colors, it is easy to locate the artificial points later on in a model, in
+case they need to be analyzed separately."
+
+Each texture owns a disjoint slice of the artificial feature-id space, so
+points triangulated from texture t are identifiable in the cloud — the
+"easy to locate later" property.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..errors import AnnotationError
+from ..venue.features import ARTIFICIAL_FEATURE_BASE, REFLECTION_FEATURE_BASE
+
+#: Feature ids available to each texture.
+FEATURES_PER_TEXTURE = 4096
+
+#: Human-readable "distinctive colors" cycled across textures; purely
+#: cosmetic but mirrors the paper's description and helps debugging.
+_PALETTE = (
+    "magenta-checker",
+    "cyan-stripes",
+    "orange-dots",
+    "lime-grid",
+    "violet-waves",
+    "scarlet-maze",
+    "teal-rings",
+    "amber-hatch",
+)
+
+
+@dataclass(frozen=True)
+class ArtificialTexture:
+    """One distinctive texture with its reserved feature-id block."""
+
+    texture_id: int
+    name: str
+
+    @property
+    def base_feature_id(self) -> int:
+        return ARTIFICIAL_FEATURE_BASE + self.texture_id * FEATURES_PER_TEXTURE
+
+    def feature_id(self, k: int) -> int:
+        """The id of this texture's k-th grid feature."""
+        if not 0 <= k < FEATURES_PER_TEXTURE:
+            raise AnnotationError(
+                f"texture {self.texture_id}: feature index {k} out of range"
+            )
+        return self.base_feature_id + k
+
+    def owns(self, feature_id: int) -> bool:
+        return self.base_feature_id <= feature_id < self.base_feature_id + FEATURES_PER_TEXTURE
+
+
+class TextureDatabase:
+    """Hands out unique textures; never reuses one (distinctiveness)."""
+
+    def __init__(self) -> None:
+        self._counter = itertools.count(0)
+        self._issued: List[ArtificialTexture] = []
+        max_textures = (REFLECTION_FEATURE_BASE - ARTIFICIAL_FEATURE_BASE) // FEATURES_PER_TEXTURE
+        self._max_textures = max_textures
+
+    def next_texture(self) -> ArtificialTexture:
+        texture_id = next(self._counter)
+        if texture_id >= self._max_textures:
+            raise AnnotationError("artificial texture id space exhausted")
+        texture = ArtificialTexture(
+            texture_id=texture_id,
+            name=_PALETTE[texture_id % len(_PALETTE)],
+        )
+        self._issued.append(texture)
+        return texture
+
+    @property
+    def issued(self) -> Tuple[ArtificialTexture, ...]:
+        return tuple(self._issued)
+
+    def texture_of_feature(self, feature_id: int) -> ArtificialTexture:
+        """Reverse lookup: which issued texture created ``feature_id``."""
+        for texture in self._issued:
+            if texture.owns(feature_id):
+                return texture
+        raise AnnotationError(f"feature {feature_id} belongs to no issued texture")

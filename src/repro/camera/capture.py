@@ -1,0 +1,265 @@
+"""The capture simulator: what a smartphone photo records of the world.
+
+Given a camera pose, the simulator computes which world features end up as
+detectable SfM features in the image. The physics it models, in order:
+
+1. **Range** — features too close or too far yield no stable detections.
+2. **Field of view** — full pin-hole projection; features above/below the
+   frame are culled by the projection itself.
+3. **Incidence angle** — surfaces viewed at grazing angles produce no
+   features (the mobile client asks users to face premises "at a
+   perpendicular angle", Sec. III).
+4. **Occlusion** — raycast against opaque surfaces. Glass is transparent,
+   so cameras see *through* glass walls (and may record reflections).
+5. **Detection dropout** — Bernoulli per feature with probability shaped
+   by feature strength, distance and motion blur.
+
+All per-photo work is vectorised over the whole feature world.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Iterator, Optional
+
+import numpy as np
+
+from ..config import CameraConfig, SfmConfig
+from ..errors import CaptureError
+from ..geometry import Vec2
+from ..simkit.rng import RngStream
+from ..venue.features import FeatureWorld
+from .blur import detection_factor, render_patch
+from .intrinsics import ExifMetadata, Intrinsics
+from .photo import Photo
+from .pose import CameraPose
+
+#: Soft cap on detections per image, like a real detector's keypoint budget.
+MAX_OBSERVATIONS_PER_PHOTO = 2400
+
+#: Std-dev of keypoint localisation noise, in pixels.
+PIXEL_NOISE_STD = 1.2
+
+
+class CaptureSimulator:
+    """Produces :class:`Photo` objects from camera poses in one venue."""
+
+    def __init__(
+        self,
+        world: FeatureWorld,
+        sfm_config: SfmConfig,
+        camera_config: CameraConfig,
+        rng: RngStream,
+        venue_id: Optional[str] = None,
+    ):
+        self._world = world
+        self._sfm = sfm_config
+        self._camera = camera_config
+        self._rng = rng
+        self._venue_id = venue_id or world.venue.name
+        self._photo_ids = itertools.count(1)
+        self._soup = world.venue.opaque_soup
+        self._cos_max_incidence = math.cos(math.radians(sfm_config.max_incidence_deg))
+        # Transparent (glass) panes for the backlight exposure model.
+        from ..geometry import SegmentSoup
+        from ..venue.surfaces import SurfaceKind
+
+        glass = [
+            s
+            for s in world.venue.surfaces
+            if not s.material.opaque and s.kind != SurfaceKind.DECOR
+        ]
+        self._glass_soup = SegmentSoup([s.segment for s in glass])
+        # Eye-level backlight blockers: opaque surfaces tall enough to
+        # shield the camera from a window behind them.
+        tall = [
+            s
+            for s in world.venue.surfaces
+            if s.material.opaque
+            and s.kind != SurfaceKind.DECOR
+            and s.top_z >= 1.4
+        ]
+        self._tall_soup = SegmentSoup([s.segment for s in tall])
+
+    @property
+    def world(self) -> FeatureWorld:
+        return self._world
+
+    @property
+    def venue_id(self) -> str:
+        return self._venue_id
+
+    def take_photo(
+        self,
+        pose: CameraPose,
+        intrinsics: Intrinsics,
+        blur: float = 0.05,
+        timestamp_s: float = 0.0,
+        source: str = "unknown",
+        exposure_compensated: bool = False,
+    ) -> Photo:
+        """Capture one photo at ``pose`` with the given motion ``blur``.
+
+        ``exposure_compensated`` disables the backlight penalty — a
+        deliberate capture where the photographer meters on the subject
+        (tap-to-expose), as annotation participants do when photographing
+        glass surfaces.
+        """
+        if not 0.0 <= blur <= 1.0:
+            raise CaptureError(f"blur must be in [0, 1], got {blur}")
+        photo_id = next(self._photo_ids)
+        photo_rng = self._rng.child(f"photo-{photo_id}")
+
+        feature_idx, pixels = self._visible_features(
+            pose, intrinsics, blur, photo_rng, exposure_compensated
+        )
+        exif = ExifMetadata(
+            device_model=intrinsics.device_model,
+            focal_length_px=intrinsics.focal_length_px,
+            image_width_px=intrinsics.image_width_px,
+            image_height_px=intrinsics.image_height_px,
+            timestamp_s=timestamp_s,
+            venue_id=self._venue_id,
+        )
+        patch = render_patch(blur, photo_rng.child("patch"), self._camera.patch_size_px)
+        return Photo(
+            photo_id=photo_id,
+            exif=exif,
+            true_pose=pose,
+            feature_ids=self._world.ids[feature_idx],
+            pixels_uv=pixels,
+            patch=patch,
+            source=source,
+        )
+
+    # -- internals ------------------------------------------------------------
+
+    def _visible_features(
+        self,
+        pose: CameraPose,
+        intrinsics: Intrinsics,
+        blur: float,
+        photo_rng: RngStream,
+        exposure_compensated: bool = False,
+    ):
+        """Indices of detected features plus their noisy pixel coordinates."""
+        pos = self._world.positions
+        cx, cy, ch = pose.position.x, pose.position.y, pose.height_m
+        dx = pos[:, 0] - cx
+        dy = pos[:, 1] - cy
+        dist = np.hypot(dx, dy)
+
+        mask = (dist >= self._sfm.min_feature_range_m) & (dist <= self._sfm.max_feature_range_m)
+        if not mask.any():
+            return np.zeros(0, dtype=int), np.zeros((0, 2))
+
+        # Pin-hole projection (matches geometry.transforms.PinholeProjection).
+        cos_y, sin_y = math.cos(pose.yaw_rad), math.sin(pose.yaw_rad)
+        z_fwd = dx * cos_y + dy * sin_y
+        x_right = -dx * sin_y + dy * cos_y
+        down = ch - pos[:, 2]
+        mask &= z_fwd > 0.15
+        with np.errstate(divide="ignore", invalid="ignore"):
+            u = intrinsics.image_width_px / 2.0 + intrinsics.focal_length_px * x_right / z_fwd
+            v = intrinsics.image_height_px / 2.0 + intrinsics.focal_length_px * down / z_fwd
+        mask &= (u >= 0) & (u < intrinsics.image_width_px)
+        mask &= (v >= 0) & (v < intrinsics.image_height_px)
+
+        # Incidence-angle culling on the floor plane.
+        with np.errstate(divide="ignore", invalid="ignore"):
+            view_x = dx / np.maximum(dist, 1e-9)
+            view_y = dy / np.maximum(dist, 1e-9)
+        normals = self._world.normals
+        cos_inc = np.abs(view_x * normals[:, 0] + view_y * normals[:, 1])
+        mask &= cos_inc >= self._min_cos_incidence()
+
+        candidates = np.nonzero(mask)[0]
+        if candidates.size == 0:
+            return np.zeros(0, dtype=int), np.zeros((0, 2))
+
+        # Detection dropout before the (more expensive) occlusion raycast.
+        exposure = 1.0 if exposure_compensated else self._exposure_factor(pose)
+        p = (
+            self._sfm.base_detection_prob
+            * self._world.strengths[candidates]
+            * np.exp(-self._sfm.range_falloff * np.maximum(dist[candidates] - 1.0, 0.0))
+            * detection_factor(blur)
+            * exposure
+        )
+        detected = candidates[photo_rng.child("detect").uniform_array(candidates.size) < p]
+        if detected.size == 0:
+            return np.zeros(0, dtype=int), np.zeros((0, 2))
+
+        visible_mask = self._soup.visible(
+            Vec2(cx, cy),
+            pos[detected, :2],
+            target_margin=5e-3,
+            origin_z=ch,
+            target_z=pos[detected, 2],
+        )
+        visible = detected[visible_mask]
+        if visible.size > MAX_OBSERVATIONS_PER_PHOTO:
+            keep = photo_rng.child("cap").permutation(visible.size)[:MAX_OBSERVATIONS_PER_PHOTO]
+            visible = visible[np.sort(keep)]
+
+        noise = photo_rng.child("pixel").normal_array((visible.size, 2), 0.0, PIXEL_NOISE_STD)
+        pixels = np.stack([u[visible], v[visible]], axis=1) + noise
+        return visible, pixels
+
+    def _min_cos_incidence(self) -> float:
+        return math.cos(math.radians(self._sfm.max_incidence_deg))
+
+    def _exposure_factor(self, pose: CameraPose) -> float:
+        """Backlight penalty: glass-dominated frames lose contrast.
+
+        Daylight behind "large transparent glass panels" overwhelms a
+        phone camera's exposure; the darkened interior yields far fewer
+        features. The penalty grows with the fraction of the FOV whose
+        first surface hit is a transparent pane.
+        """
+        strength = self._sfm.backlight_strength
+        if strength <= 0 or len(self._glass_soup) == 0:
+            return 1.0
+        n_rays = 13
+        half = self._camera.hfov_rad / 2.0
+        glassy = 0
+        for i in range(n_rays):
+            bearing = pose.yaw_rad - half + (2.0 * half) * i / (n_rays - 1)
+            direction = Vec2.from_angle(bearing)
+            glass_hit = self._glass_soup.first_hit(
+                pose.position, direction, self._sfm.max_feature_range_m
+            )
+            if glass_hit is None:
+                continue
+            opaque_hit = self._tall_soup.first_hit(
+                pose.position, direction, self._sfm.max_feature_range_m
+            )
+            if opaque_hit is None or glass_hit[0] < opaque_hit[0]:
+                glassy += 1
+        fraction = glassy / n_rays
+        return 1.0 - strength * fraction ** 1.5
+
+    def sweep(
+        self,
+        center: Vec2,
+        intrinsics: Intrinsics,
+        step_deg: float,
+        blur: float = 0.04,
+        start_timestamp_s: float = 0.0,
+        interval_s: float = 1.0,
+        source: str = "guided",
+        height_m: float = 1.5,
+        start_deg: float = 0.0,
+    ) -> Iterator[Photo]:
+        """The guided 360° capture: one photo every ``step_deg`` degrees."""
+        from .pose import sweep_poses
+
+        for i, pose in enumerate(sweep_poses(center, step_deg, height_m, start_deg)):
+            yield self.take_photo(
+                pose,
+                intrinsics,
+                blur=blur,
+                timestamp_s=start_timestamp_s + i * interval_s,
+                source=source,
+            )

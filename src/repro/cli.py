@@ -1,0 +1,161 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``info``      — describe the library replica venue
+* ``guided``    — run the guided SnapTask campaign and print the series
+* ``compare``   — the full three-way field test (Figs. 11-12 data)
+* ``deploy``    — the client/server deployment simulation
+* ``export``    — run a guided campaign and export the floor plan
+                   (PGM + JSON)
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+from typing import List, Optional
+
+from .config import paper_config
+
+
+def _make_bench(seed: int):
+    from .eval import Workbench
+
+    return Workbench.for_library(paper_config(seed=seed))
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    bench = _make_bench(args.seed)
+    print(bench.venue.describe())
+    print(f"grid: {bench.spec.n_rows} x {bench.spec.n_cols} cells of "
+          f"{bench.spec.cell_size_m * 100:.0f} cm")
+    print(f"world features: {len(bench.world)}")
+    print(f"ground-truth region cells: {bench.ground_truth.region_cells}")
+    print(f"outer bounds: {bench.ground_truth.outer_bounds_m:.2f} m")
+    return 0
+
+
+def cmd_guided(args: argparse.Namespace) -> int:
+    from .eval import run_guided_experiment
+    from .eval.reporting import format_series_rows, format_table1
+    from .mapping import render_ascii
+
+    bench = _make_bench(args.seed)
+    result = run_guided_experiment(bench, max_tasks=args.max_tasks)
+    print(format_series_rows(result.series))
+    print()
+    print(format_table1(result.featureless))
+    print()
+    print(f"venue covered: {result.run.venue_covered}; "
+          f"{result.n_photo_tasks} photo + {result.n_annotation_tasks} annotation tasks")
+    if args.map:
+        print(render_ascii(result.final_maps, bench.ground_truth.region_mask, max_width=100))
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    from .eval import (
+        format_final_comparison,
+        run_guided_experiment,
+        run_opportunistic_experiment,
+        run_unguided_experiment,
+    )
+
+    guided = run_guided_experiment(_make_bench(args.seed), max_tasks=args.max_tasks)
+    unguided = run_unguided_experiment(_make_bench(args.seed))
+    opportunistic = run_opportunistic_experiment(_make_bench(args.seed))
+    print(
+        format_final_comparison(
+            [
+                ("SnapTask", guided.final),
+                ("Unguided participatory", unguided.series.final),
+                ("Opportunistic", opportunistic.series.final),
+            ],
+            paper_values={
+                "SnapTask": "98.12%",
+                "unguided": "77.4%",
+                "opportunistic": "63.67%",
+            },
+        )
+    )
+    return 0
+
+
+def cmd_deploy(args: argparse.Namespace) -> int:
+    from .server import Deployment
+
+    bench = _make_bench(args.seed)
+    deployment = Deployment(bench, n_clients=args.clients)
+    report = deployment.run(until_s=args.until)
+    print(f"venue covered: {report.venue_covered}")
+    print(f"simulated time: {report.sim_time_s:.0f} s; events: {report.events_processed}")
+    print(f"tasks: {report.tasks_completed}; photos: {report.photos_uploaded}; "
+          f"traffic: {report.total_traffic_mb:.0f} MB")
+    return 0
+
+
+def cmd_export(args: argparse.Namespace) -> int:
+    from .eval import run_guided_experiment
+    from .mapping.export import floorplan_to_json, floorplan_to_pgm
+
+    bench = _make_bench(args.seed)
+    result = run_guided_experiment(bench, max_tasks=args.max_tasks)
+    out = pathlib.Path(args.output)
+    out.mkdir(parents=True, exist_ok=True)
+    pgm = floorplan_to_pgm(
+        result.final_maps, out / "floorplan.pgm", bench.ground_truth.region_mask
+    )
+    meta = floorplan_to_json(
+        result.final_maps, out / "floorplan.json", venue_name=bench.venue.name
+    )
+    print(f"wrote {pgm} and {meta}")
+    print(f"coverage: {result.final.coverage_percent:.2f}%  "
+          f"bounds: {result.final.bounds_percent:.2f}%")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SnapTask (ICDCS 2018) reproduction CLI",
+    )
+    parser.add_argument("--seed", type=int, default=2018, help="master RNG seed")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="describe the library replica")
+
+    p_guided = sub.add_parser("guided", help="run the guided campaign")
+    p_guided.add_argument("--max-tasks", type=int, default=120)
+    p_guided.add_argument("--map", action="store_true", help="print the ASCII floor plan")
+
+    p_compare = sub.add_parser("compare", help="guided vs unguided vs opportunistic")
+    p_compare.add_argument("--max-tasks", type=int, default=120)
+
+    p_deploy = sub.add_parser("deploy", help="client/server deployment simulation")
+    p_deploy.add_argument("--clients", type=int, default=3)
+    p_deploy.add_argument("--until", type=float, default=40_000.0)
+
+    p_export = sub.add_parser("export", help="export the floor plan (PGM + JSON)")
+    p_export.add_argument("--max-tasks", type=int, default=120)
+    p_export.add_argument("--output", default="floorplan-out")
+    return parser
+
+
+_COMMANDS = {
+    "info": cmd_info,
+    "guided": cmd_guided,
+    "compare": cmd_compare,
+    "deploy": cmd_deploy,
+    "export": cmd_export,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,21 @@
+"""SnapTask core: task generation, quality checks, the backend pipeline."""
+
+from .pipeline import BatchOutcome, SnapTaskPipeline
+from .quality import QualityReport, check_photo_quality, filter_blurry, sharpest
+from .tasks import Task, TaskFactory, TaskKind, TaskStatus
+from .unvisited import UnvisitedArea, find_unvisited
+
+__all__ = [
+    "BatchOutcome",
+    "QualityReport",
+    "SnapTaskPipeline",
+    "Task",
+    "TaskFactory",
+    "TaskKind",
+    "TaskStatus",
+    "UnvisitedArea",
+    "check_photo_quality",
+    "filter_blurry",
+    "find_unvisited",
+    "sharpest",
+]

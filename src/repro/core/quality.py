@@ -1,0 +1,66 @@
+"""checkPhotoQuality (Algorithm 1, line 14).
+
+"It uses variation of the Laplacian to calculate the blurriness of the
+photos, as blurry photos cannot be used for 3D reconstruction. High
+blurriness indicates poor quality input, when e.g. the camera was of a low
+quality or the worker did not manage to capture steady pictures."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..camera.photo import Photo
+from ..errors import TaskGenerationError
+
+
+@dataclass(frozen=True)
+class QualityReport:
+    """Sharpness statistics of one uploaded batch."""
+
+    n_photos: int
+    mean_sharpness: float
+    min_sharpness: float
+    n_blurry: int
+    threshold: float
+
+    @property
+    def is_low_quality(self) -> bool:
+        """Batch verdict: the *typical* photo is below the threshold."""
+        return self.mean_sharpness <= self.threshold
+
+    @property
+    def blurry_fraction(self) -> float:
+        return self.n_blurry / self.n_photos if self.n_photos else 0.0
+
+
+def check_photo_quality(photos: Sequence[Photo], threshold: float) -> QualityReport:
+    """Score a batch with variance-of-Laplacian (higher = sharper)."""
+    if not photos:
+        raise TaskGenerationError("cannot score an empty photo batch")
+    scores = [p.sharpness() for p in photos]
+    return QualityReport(
+        n_photos=len(photos),
+        mean_sharpness=sum(scores) / len(scores),
+        min_sharpness=min(scores),
+        n_blurry=sum(1 for s in scores if s <= threshold),
+        threshold=threshold,
+    )
+
+
+def filter_blurry(photos: Sequence[Photo], threshold: float) -> List[Photo]:
+    """Drop photos below the sharpness threshold.
+
+    Used by the unguided-participatory dataset preparation: "we filtered
+    out blurry ones with variation of the Laplacian, since this task can be
+    done automatically" (Sec. V-B2).
+    """
+    return [p for p in photos if p.sharpness() > threshold]
+
+
+def sharpest(photos: Sequence[Photo]) -> Photo:
+    """The sharpest photo of a window (video frame extraction helper)."""
+    if not photos:
+        raise TaskGenerationError("cannot pick sharpest of an empty window")
+    return max(photos, key=lambda p: p.sharpness())

@@ -1,0 +1,57 @@
+"""Crowd behaviour: participants, mobility, the three collection modes."""
+
+from .guided import (
+    BOOTSTRAP_VIDEO_FRAMES,
+    GEO_CALIBRATION_PHOTOS,
+    CompletedTask,
+    GuidedCampaign,
+    GuidedRunResult,
+)
+from .mobility import HotspotMobility, Trajectory, TrajectoryPoint
+from .opportunistic import OpportunisticCollector, OpportunisticDataset
+from .participants import Participant, guided_participants, make_participants
+from .selection import (
+    BudgetGreedyPolicy,
+    IncentiveLedger,
+    NearestIdlePolicy,
+    ParticipantSelector,
+    RoundRobinPolicy,
+    SelectionReport,
+    replay_task_locations,
+)
+from .participatory import ParticipatoryDataset, UnguidedCollector
+from .video import (
+    FrameSpec,
+    capture_frames,
+    extract_sharpest_frames,
+    frame_specs_for_walk,
+)
+
+__all__ = [
+    "BOOTSTRAP_VIDEO_FRAMES",
+    "CompletedTask",
+    "FrameSpec",
+    "GEO_CALIBRATION_PHOTOS",
+    "GuidedCampaign",
+    "GuidedRunResult",
+    "HotspotMobility",
+    "OpportunisticCollector",
+    "OpportunisticDataset",
+    "BudgetGreedyPolicy",
+    "IncentiveLedger",
+    "NearestIdlePolicy",
+    "Participant",
+    "ParticipantSelector",
+    "RoundRobinPolicy",
+    "SelectionReport",
+    "replay_task_locations",
+    "ParticipatoryDataset",
+    "Trajectory",
+    "TrajectoryPoint",
+    "UnguidedCollector",
+    "capture_frames",
+    "extract_sharpest_frames",
+    "frame_specs_for_walk",
+    "guided_participants",
+    "make_participants",
+]

@@ -1,0 +1,52 @@
+"""Participant profiles.
+
+The field test used 10 participants with specific devices (Sec. V-B):
+Galaxy S7 / iPhone 7 for the opportunistic and unguided datasets, Galaxy
+S7 / Nexus 5 for the guided one. A profile bundles the participant's
+device with a hand-steadiness parameter that scales their motion blur.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..camera.intrinsics import GALAXY_S7, IPHONE_7, NEXUS_5, Intrinsics
+from ..simkit.rng import RngStream
+
+
+@dataclass(frozen=True)
+class Participant:
+    """One crowdsourcing participant."""
+
+    name: str
+    device: Intrinsics
+    steadiness: float  # in (0, 1]; 1 = perfectly steady hands
+
+    def blur_for(self, base_blur: float, rng: RngStream) -> float:
+        """Actual motion blur of one capture given situational base blur."""
+        shake = max(0.0, rng.normal(0.0, 0.05)) * (1.5 - self.steadiness)
+        return float(min(1.0, max(0.0, base_blur / self.steadiness + shake)))
+
+
+def make_participants(
+    count: int,
+    rng: RngStream,
+    devices: Sequence[Intrinsics] = (GALAXY_S7, IPHONE_7),
+) -> List[Participant]:
+    """Build a cohort of participants with varied steadiness."""
+    participants = []
+    for i in range(count):
+        participants.append(
+            Participant(
+                name=f"participant-{i}",
+                device=devices[i % len(devices)],
+                steadiness=rng.child(f"steadiness-{i}").uniform(0.7, 1.0),
+            )
+        )
+    return participants
+
+
+def guided_participants(count: int, rng: RngStream) -> List[Participant]:
+    """The guided cohort used Galaxy S7 + Nexus 5 (Sec. V-B)."""
+    return make_participants(count, rng, devices=(GALAXY_S7, NEXUS_5))

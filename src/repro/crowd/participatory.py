@@ -1,0 +1,118 @@
+"""Unguided participatory VCS data collection (Sec. V-B2).
+
+"We asked each of the 10 participants to capture 100 photos inside a
+library. None of the participants were experts in computer vision and were
+taking arbitrary photos in the venue. After obtaining the photos, we
+filtered out blurry ones with variation of the Laplacian."
+
+Participants cluster around hotspots (weighted), stand at a jittered spot
+and shoot in an arbitrary direction with hand-held blur — no coverage
+intent whatsoever.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from ..camera.capture import CaptureSimulator
+from ..camera.photo import Photo
+from ..camera.pose import CameraPose
+from ..core.quality import filter_blurry
+from ..geometry import Vec2
+from ..simkit.rng import RngStream
+from ..venue.model import Venue
+from .participants import Participant
+
+#: Std-dev of participant position around their chosen hotspot, metres.
+HOTSPOT_SPREAD_M = 1.7
+
+#: Base hand-held blur of casual still photos.
+STILL_BASE_BLUR = 0.05
+
+#: Fraction of clumsy shots with heavy motion blur (later filtered out).
+CLUMSY_RATE = 0.12
+
+
+@dataclass(frozen=True)
+class ParticipatoryDataset:
+    """One unguided participatory campaign."""
+
+    photos: Tuple[Photo, ...]  # after blur filtering
+    n_taken: int
+
+    @property
+    def n_photos(self) -> int:
+        return len(self.photos)
+
+    @property
+    def n_filtered_out(self) -> int:
+        return self.n_taken - len(self.photos)
+
+
+class UnguidedCollector:
+    """Simulates arbitrary photo-taking around hotspots."""
+
+    def __init__(
+        self,
+        venue: Venue,
+        capture: CaptureSimulator,
+        rng: RngStream,
+        blur_filter_threshold: float,
+    ):
+        self._venue = venue
+        self._capture = capture
+        self._rng = rng
+        self._threshold = blur_filter_threshold
+
+    def collect(
+        self,
+        participants: Sequence[Participant],
+        photos_per_participant: int,
+    ) -> ParticipatoryDataset:
+        """Everyone takes their quota of arbitrary photos; filter blur."""
+        photos: List[Photo] = []
+        hotspots = list(self._venue.hotspots)
+        weights = [h.weight for h in hotspots]
+        taken = 0
+        for p_idx, participant in enumerate(participants):
+            p_rng = self._rng.child(f"participant-{p_idx}")
+            # "people tend to move around particular places": each person
+            # shoots around a few personal favourite hotspots only.
+            favourites = []
+            fav_rng = p_rng.child("favourites")
+            for _ in range(3):
+                favourites.append(fav_rng.weighted_choice(hotspots, weights))
+            fav_weights = [h.weight for h in favourites]
+            for shot in range(photos_per_participant):
+                shot_rng = p_rng.child(f"shot-{shot}")
+                position = self._sample_position(favourites, fav_weights, shot_rng)
+                yaw = shot_rng.uniform(-math.pi, math.pi)
+                base = STILL_BASE_BLUR
+                if shot_rng.chance(CLUMSY_RATE):
+                    base = shot_rng.uniform(0.45, 0.9)
+                blur = participant.blur_for(base, shot_rng.child("blur"))
+                photos.append(
+                    self._capture.take_photo(
+                        CameraPose(position, yaw),
+                        participant.device,
+                        blur=blur,
+                        timestamp_s=float(taken),
+                        source="participatory",
+                    )
+                )
+                taken += 1
+        kept = filter_blurry(photos, self._threshold)
+        return ParticipatoryDataset(photos=tuple(kept), n_taken=taken)
+
+    def _sample_position(self, hotspots, weights, rng: RngStream) -> Vec2:
+        """Gaussian around a weighted hotspot, re-drawn until walkable."""
+        for _ in range(60):
+            hotspot = rng.weighted_choice(hotspots, weights)
+            candidate = hotspot.position + Vec2(
+                rng.normal(0.0, HOTSPOT_SPREAD_M), rng.normal(0.0, HOTSPOT_SPREAD_M)
+            )
+            if self._venue.is_traversable(candidate):
+                return candidate
+        return self._venue.nearest_traversable(hotspots[0].position)

@@ -1,0 +1,56 @@
+"""Exception hierarchy for the SnapTask reproduction.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError`, so
+callers can catch library failures with a single ``except`` clause while
+still distinguishing the subsystem that failed.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class GeometryError(ReproError):
+    """Invalid geometric input (degenerate segment, empty polygon, ...)."""
+
+
+class VenueError(ReproError):
+    """Inconsistent venue definition (unclosed outer wall, bad material, ...)."""
+
+
+class CaptureError(ReproError):
+    """A photo could not be captured (camera outside venue, bad intrinsics)."""
+
+
+class ReconstructionError(ReproError):
+    """The SfM simulator was asked to do something impossible."""
+
+
+class RegistrationError(ReconstructionError):
+    """A photo or batch could not be registered into the model."""
+
+
+class MappingError(ReproError):
+    """Grid/map construction failure (mismatched extents, empty cloud, ...)."""
+
+
+class TaskGenerationError(ReproError):
+    """Task generation was invoked with inconsistent state."""
+
+
+class AnnotationError(ReproError):
+    """Annotation fusion failed (no annotations, degenerate clusters, ...)."""
+
+
+class SimulationError(ReproError):
+    """Discrete-event simulation kernel misuse (time travel, dead handler)."""
+
+
+class ProtocolError(ReproError):
+    """Client/server message exchange violated the SnapTask protocol."""
+
+
+class ConfigError(ReproError):
+    """A configuration value is out of its documented range."""

@@ -1,0 +1,82 @@
+"""Plain-text report formatting for experiment results.
+
+The benchmark harness prints the same rows/series the paper reports;
+these helpers keep the formatting consistent across benches and examples.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from .datasets import IncrementalSeries
+from .metrics import FeaturelessTaskMetrics
+
+
+def format_series_table(
+    series_list: Sequence[IncrementalSeries],
+    metric: str = "coverage",
+    title: str = "",
+) -> str:
+    """Fig.-11-style table: one block of rows per approach."""
+    if metric not in ("coverage", "bounds"):
+        raise ValueError("metric must be 'coverage' or 'bounds'")
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for series in series_list:
+        values = (
+            series.coverage_percents() if metric == "coverage" else series.bounds_percents()
+        )
+        lines.append(f"-- {series.label}")
+        for n, v in zip(series.photo_counts(), values):
+            lines.append(f"{n:>8} photos -> {v:>6.2f}%")
+    return "\n".join(lines)
+
+
+def format_series_rows(series: IncrementalSeries) -> str:
+    """One approach's (photos, coverage%, bounds%) rows."""
+    lines = [f"{series.label}:"]
+    lines.append(f"{'photos':>8} {'coverage%':>11} {'bounds%':>9}")
+    for sample in series.samples:
+        lines.append(
+            f"{sample.n_photos:>8} {sample.coverage_percent:>10.2f}% {sample.bounds_percent:>8.2f}%"
+        )
+    return "\n".join(lines)
+
+
+def format_table1(rows: Sequence[FeaturelessTaskMetrics]) -> str:
+    """Table I: featureless-surface reconstruction per annotation task."""
+    lines = [
+        "Table I: Analysis of Featureless Surfaces Reconstruction",
+        f"{'Task#':>5} {'Identified':>10} {'Reconstr.':>9} {'Precision':>9} {'Recall':>7} {'F-score':>8}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.task_number:>5} {row.identified_surfaces:>10} "
+            f"{row.reconstructed_surfaces:>9} {row.precision:>9.2f} "
+            f"{row.recall:>7.2f} {row.f_score:>8.2f}"
+        )
+    if rows:
+        usable = [r for r in rows if r.reconstructed_surfaces > 0]
+        if usable:
+            mean_p = sum(r.precision for r in usable) / len(usable)
+            mean_f = sum(r.f_score for r in usable) / len(usable)
+            lines.append(f"{'mean':>5} {'':>10} {'':>9} {mean_p:>9.2f} {'':>7} {mean_f:>8.2f}")
+    return "\n".join(lines)
+
+
+def format_final_comparison(
+    labels_and_finals: Sequence, paper_values: Optional[dict] = None
+) -> str:
+    """Fig.-12-style summary: final coverage/bounds per approach."""
+    lines = [
+        f"{'approach':>26} {'coverage%':>11} {'bounds%':>9} {'photos':>8}"
+    ]
+    for label, final in labels_and_finals:
+        lines.append(
+            f"{label:>26} {final.coverage_percent:>10.2f}% "
+            f"{final.bounds_percent:>8.2f}% {final.n_photos:>8}"
+        )
+    if paper_values:
+        lines.append("paper reference: " + ", ".join(f"{k}={v}" for k, v in paper_values.items()))
+    return "\n".join(lines)

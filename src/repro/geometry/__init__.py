@@ -1,0 +1,30 @@
+"""Geometric primitives used throughout the SnapTask reproduction."""
+
+from .polygons import BoundingBox, Polygon, convex_hull
+from .rays import SegmentSoup, ray_march_cells
+from .segments import (
+    Segment,
+    iter_polygon_edges,
+    merge_intervals,
+    polyline_length,
+    total_interval_length,
+)
+from .transforms import PinholeProjection
+from .vec import Vec2, Vec3, angle_difference
+
+__all__ = [
+    "BoundingBox",
+    "PinholeProjection",
+    "Polygon",
+    "Segment",
+    "SegmentSoup",
+    "Vec2",
+    "Vec3",
+    "angle_difference",
+    "convex_hull",
+    "iter_polygon_edges",
+    "merge_intervals",
+    "polyline_length",
+    "ray_march_cells",
+    "total_interval_length",
+]

@@ -1,0 +1,145 @@
+"""Line segments on the venue floor plane.
+
+Wall panels, furniture faces and glass panes are all modelled as 2-D
+segments (with a height attribute added at the venue layer). This module
+provides the segment primitives the occlusion raycaster and the boundary
+metrics build on.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+from ..errors import GeometryError
+from .vec import Vec2
+
+_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class Segment:
+    """A non-degenerate 2-D line segment from ``a`` to ``b``."""
+
+    a: Vec2
+    b: Vec2
+
+    def __post_init__(self) -> None:
+        if self.a.distance_to(self.b) < _EPS:
+            raise GeometryError(f"degenerate segment at {self.a}")
+
+    @property
+    def length(self) -> float:
+        return self.a.distance_to(self.b)
+
+    @property
+    def direction(self) -> Vec2:
+        return (self.b - self.a).normalized()
+
+    @property
+    def normal(self) -> Vec2:
+        """Unit normal (counter-clockwise perpendicular of the direction)."""
+        return self.direction.perpendicular()
+
+    @property
+    def midpoint(self) -> Vec2:
+        return self.a.lerp(self.b, 0.5)
+
+    def point_at(self, t: float) -> Vec2:
+        """Point at parameter ``t`` in [0, 1] along the segment."""
+        return self.a.lerp(self.b, t)
+
+    def sample_points(self, spacing: float) -> List[Vec2]:
+        """Evenly spaced points along the segment, inclusive of endpoints.
+
+        ``spacing`` is a target distance; actual spacing is adjusted so the
+        samples cover the full length exactly.
+        """
+        if spacing <= 0:
+            raise GeometryError("sample spacing must be positive")
+        n = max(1, int(math.ceil(self.length / spacing)))
+        return [self.point_at(i / n) for i in range(n + 1)]
+
+    def distance_to_point(self, p: Vec2) -> float:
+        """Euclidean distance from ``p`` to the closest point on the segment."""
+        return p.distance_to(self.closest_point(p))
+
+    def closest_point(self, p: Vec2) -> Vec2:
+        d = self.b - self.a
+        t = (p - self.a).dot(d) / d.norm_sq()
+        t = min(1.0, max(0.0, t))
+        return self.point_at(t)
+
+    def project_parameter(self, p: Vec2) -> float:
+        """Parameter of the orthogonal projection of ``p`` (unclamped)."""
+        d = self.b - self.a
+        return (p - self.a).dot(d) / d.norm_sq()
+
+    def intersect(self, other: "Segment") -> Optional[Vec2]:
+        """Intersection point of two segments, or None if they do not cross."""
+        r = self.b - self.a
+        s = other.b - other.a
+        denom = r.cross(s)
+        qp = other.a - self.a
+        if abs(denom) < _EPS:
+            return None  # parallel (collinear overlap treated as no crossing)
+        t = qp.cross(s) / denom
+        u = qp.cross(r) / denom
+        if -_EPS <= t <= 1.0 + _EPS and -_EPS <= u <= 1.0 + _EPS:
+            return self.point_at(min(1.0, max(0.0, t)))
+        return None
+
+    def reversed(self) -> "Segment":
+        return Segment(self.b, self.a)
+
+    def translated(self, offset: Vec2) -> "Segment":
+        return Segment(self.a + offset, self.b + offset)
+
+    def subsegment(self, t0: float, t1: float) -> "Segment":
+        """Portion of the segment between parameters t0 < t1."""
+        if not (0.0 <= t0 < t1 <= 1.0):
+            raise GeometryError(f"invalid subsegment parameters ({t0}, {t1})")
+        return Segment(self.point_at(t0), self.point_at(t1))
+
+
+def merge_intervals(
+    intervals: List[Tuple[float, float]], gap: float
+) -> List[Tuple[float, float]]:
+    """Merge 1-D intervals whose gaps are below ``gap``.
+
+    Used for the outer-bounds length metric: "two segments of the bounds
+    will be considered as one, if a distance between them is less than T"
+    (paper Sec. V-C1, T = 0.15 m).
+    """
+    if not intervals:
+        return []
+    ordered = sorted(intervals)
+    merged = [list(ordered[0])]
+    for lo, hi in ordered[1:]:
+        if lo - merged[-1][1] <= gap:
+            merged[-1][1] = max(merged[-1][1], hi)
+        else:
+            merged.append([lo, hi])
+    return [(lo, hi) for lo, hi in merged]
+
+
+def total_interval_length(intervals: List[Tuple[float, float]]) -> float:
+    """Sum of interval lengths (intervals assumed non-overlapping)."""
+    return sum(hi - lo for lo, hi in intervals)
+
+
+def polyline_length(points: List[Vec2]) -> float:
+    """Total length of the polyline through ``points``."""
+    return sum(points[i].distance_to(points[i + 1]) for i in range(len(points) - 1))
+
+
+def iter_polygon_edges(points: List[Vec2]) -> Iterator[Segment]:
+    """Edges of the closed polygon through ``points`` (last joins first)."""
+    n = len(points)
+    if n < 3:
+        raise GeometryError("polygon needs at least 3 vertices")
+    for i in range(n):
+        a, b = points[i], points[(i + 1) % n]
+        if a.distance_to(b) >= _EPS:
+            yield Segment(a, b)

@@ -1,0 +1,144 @@
+"""Camera projection between world and image coordinates.
+
+The annotation pipeline (Algorithms 5 & 6) works in *pixel* space: workers
+mark 4 corner pixels, DBSCAN/k-means fuse pixels, and the fused pixels are
+back-projected onto the surface plane. This module implements the pin-hole
+projection both ways for the upright smartphone camera model used
+throughout the reproduction (camera at fixed height, optical axis parallel
+to the floor).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..errors import GeometryError
+from .segments import Segment
+from .vec import Vec2, Vec3, angle_difference
+
+
+@dataclass(frozen=True)
+class PinholeProjection:
+    """Projection for a camera at ``position`` looking along ``yaw_rad``.
+
+    The camera is upright (no roll/pitch), at height ``position.z``;
+    ``focal_px`` applies to both axes, and the principal point is the image
+    centre.
+    """
+
+    position: Vec3
+    yaw_rad: float
+    focal_px: float
+    image_width_px: int
+    image_height_px: int
+
+    @property
+    def forward(self) -> Vec2:
+        return Vec2.from_angle(self.yaw_rad)
+
+    @property
+    def half_width(self) -> float:
+        return self.image_width_px / 2.0
+
+    @property
+    def half_height(self) -> float:
+        return self.image_height_px / 2.0
+
+    def world_to_camera(self, p: Vec3) -> Vec3:
+        """World point -> camera frame (x right, y down, z forward)."""
+        rel = Vec2(p.x - self.position.x, p.y - self.position.y)
+        c, s = math.cos(-self.yaw_rad), math.sin(-self.yaw_rad)
+        forward = c * rel.x - s * rel.y
+        right = s * rel.x + c * rel.y
+        down = self.position.z - p.z
+        return Vec3(right, down, forward)
+
+    def project(self, p: Vec3) -> Optional[Vec2]:
+        """Project a world point to pixel coordinates.
+
+        Returns None if the point is behind the camera or outside the image.
+        """
+        cam = self.world_to_camera(p)
+        if cam.z <= 1e-9:
+            return None
+        u = self.half_width + self.focal_px * cam.x / cam.z
+        v = self.half_height + self.focal_px * cam.y / cam.z
+        if not (0.0 <= u < self.image_width_px and 0.0 <= v < self.image_height_px):
+            return None
+        return Vec2(u, v)
+
+    def project_unclamped(self, p: Vec3) -> Optional[Vec2]:
+        """Project a world point to (possibly out-of-frame) pixel coords.
+
+        Returns None only when the point is behind the camera. Used by the
+        annotation workers, who clamp off-frame corners to the image border
+        (the paper's recall loss when "a featureless surface ... stretched
+        through a whole image width").
+        """
+        cam = self.world_to_camera(p)
+        if cam.z <= 1e-9:
+            return None
+        u = self.half_width + self.focal_px * cam.x / cam.z
+        v = self.half_height + self.focal_px * cam.y / cam.z
+        return Vec2(u, v)
+
+    def clamp_pixel(self, pixel: Vec2) -> Vec2:
+        """Clamp a pixel to the image bounds."""
+        return Vec2(
+            min(max(pixel.x, 0.0), self.image_width_px - 1.0),
+            min(max(pixel.y, 0.0), self.image_height_px - 1.0),
+        )
+
+    def pixel_ray(self, pixel: Vec2) -> Tuple[Vec3, Vec3]:
+        """Ray (origin, unit direction) in world space through ``pixel``."""
+        x_cam = (pixel.x - self.half_width) / self.focal_px
+        y_cam = (pixel.y - self.half_height) / self.focal_px
+        # Camera-frame direction (right, down, forward) = (x_cam, y_cam, 1).
+        # The world axis matching world_to_camera's "right" component is
+        # (-sin yaw, cos yaw); "down" maps to -z in world space.
+        c, s = math.cos(self.yaw_rad), math.sin(self.yaw_rad)
+        fwd = Vec2(c, s)
+        right = Vec2(-s, c)
+        dx = fwd.x + right.x * x_cam
+        dy = fwd.y + right.y * x_cam
+        dz = -y_cam
+        norm = math.sqrt(dx * dx + dy * dy + dz * dz)
+        if norm < 1e-12:
+            raise GeometryError("degenerate pixel ray")
+        return self.position, Vec3(dx / norm, dy / norm, dz / norm)
+
+    def intersect_pixel_with_wall(
+        self, pixel: Vec2, wall: Segment, extend_frac: float = 0.0
+    ) -> Optional[Vec3]:
+        """World point where the pixel ray meets the vertical plane of ``wall``.
+
+        The wall is treated as an infinite-height vertical plane through the
+        segment; returns None if the ray is parallel to the plane or hits
+        outside the segment extent. ``extend_frac`` tolerates hits slightly
+        beyond the segment ends (as a fraction of its length) — noisy
+        annotation corners may legitimately overshoot a pane's edge.
+        """
+        origin, direction = self.pixel_ray(pixel)
+        # Solve in the floor plane first.
+        d2 = Vec2(direction.x, direction.y)
+        seg_dir = wall.b - wall.a
+        denom = d2.cross(seg_dir)
+        if abs(denom) < 1e-12:
+            return None
+        rel = wall.a - Vec2(origin.x, origin.y)
+        t = rel.cross(seg_dir) / denom
+        if t <= 1e-9:
+            return None
+        u = rel.cross(d2) / denom
+        if not -extend_frac - 1e-9 <= u <= 1.0 + extend_frac + 1e-9:
+            return None
+        hit_floor = Vec2(origin.x + d2.x * t, origin.y + d2.y * t)
+        hit_z = origin.z + direction.z * t
+        return Vec3(hit_floor.x, hit_floor.y, hit_z)
+
+    def bearing_to(self, p: Vec2) -> float:
+        """Signed horizontal angle from the optical axis to floor point ``p``."""
+        rel = p - Vec2(self.position.x, self.position.y)
+        return angle_difference(rel.angle(), self.yaw_rad)

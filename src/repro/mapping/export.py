@@ -1,0 +1,103 @@
+"""Floor-plan export: PGM images, CSV matrices and JSON metadata.
+
+SnapTask's product is the floor plan; downstream consumers (navigation
+apps like the authors' SeeNav, robot planners) want it as files. PGM is
+chosen for images because it is dependency-free and readable by
+everything; CSV/JSON cover numeric pipelines.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+from ..errors import MappingError
+from .coverage import CoverageMaps
+from .floorplan import export_layers
+from .grid import GridSpec
+
+PathLike = Union[str, pathlib.Path]
+
+#: Grey levels used in exported PGM floor plans.
+PGM_EMPTY = 255
+PGM_VISIBLE = 180
+PGM_OBSTACLE = 0
+PGM_OUTSIDE = 220
+
+
+def floorplan_to_pgm(
+    maps: CoverageMaps,
+    path: PathLike,
+    region_mask: Optional[np.ndarray] = None,
+) -> pathlib.Path:
+    """Write the floor plan as a binary PGM (P5) image.
+
+    Rows are flipped so north is up, like the ASCII renderer and the
+    paper's figures.
+    """
+    layers = export_layers(maps)
+    grey = np.full(layers.shape, PGM_EMPTY, dtype=np.uint8)
+    if region_mask is not None:
+        if region_mask.shape != layers.shape:
+            raise MappingError("region mask shape mismatch")
+        grey[~region_mask] = PGM_OUTSIDE
+    grey[layers == 1] = PGM_VISIBLE
+    grey[layers == 2] = PGM_OBSTACLE
+    grey = np.flipud(grey)
+
+    path = pathlib.Path(path)
+    header = f"P5\n{grey.shape[1]} {grey.shape[0]}\n255\n".encode("ascii")
+    path.write_bytes(header + grey.tobytes())
+    return path
+
+
+def floorplan_to_csv(maps: CoverageMaps, path: PathLike) -> pathlib.Path:
+    """Write the layer matrix (0 empty / 1 visible / 2 obstacle) as CSV."""
+    layers = export_layers(maps)
+    path = pathlib.Path(path)
+    np.savetxt(path, layers, fmt="%d", delimiter=",")
+    return path
+
+
+def spec_metadata(spec: GridSpec) -> Dict[str, float]:
+    """JSON-serialisable grid georeference."""
+    return {
+        "origin_x_m": spec.origin_x,
+        "origin_y_m": spec.origin_y,
+        "cell_size_m": spec.cell_size_m,
+        "n_rows": spec.n_rows,
+        "n_cols": spec.n_cols,
+    }
+
+
+def floorplan_to_json(
+    maps: CoverageMaps,
+    path: PathLike,
+    venue_name: str = "",
+) -> pathlib.Path:
+    """Write maps + georeference as one JSON document."""
+    layers = export_layers(maps)
+    document = {
+        "venue": venue_name,
+        "grid": spec_metadata(maps.spec),
+        "legend": {"0": "unknown", "1": "visible", "2": "obstacle"},
+        "covered_cells": maps.covered_cells(),
+        "layers": layers.tolist(),
+    }
+    path = pathlib.Path(path)
+    path.write_text(json.dumps(document))
+    return path
+
+
+def read_pgm(path: PathLike) -> np.ndarray:
+    """Read back a binary P5 PGM written by :func:`floorplan_to_pgm`."""
+    raw = pathlib.Path(path).read_bytes()
+    if not raw.startswith(b"P5"):
+        raise MappingError("not a binary PGM file")
+    parts = raw.split(b"\n", 3)
+    width, height = (int(v) for v in parts[1].split())
+    data = np.frombuffer(parts[3], dtype=np.uint8, count=width * height)
+    return data.reshape(height, width)

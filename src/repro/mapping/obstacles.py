@@ -1,0 +1,60 @@
+"""Algorithm 2: calculateObstaclesMap.
+
+    1: O <= empty
+    2: compute OctoMap Om from M
+    3: Om' <= merge Om cells along up-pointing axis
+    4: for cell[i,j] in Om': O[i,j] = cell if cell >= OBSTACLE_THRESHOLD else 0
+
+The obstacles map is "a 2D representation of non traversable areas": any
+cell whose merged column holds at least OBSTACLE_THRESHOLD (= 4) points is
+an obstacle, which suppresses isolated noise points without erasing thin
+structures like wall bands.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..geometry import Vec2
+from ..sfm.pointcloud import PointCloud
+from .grid import Grid2D, GridSpec
+from .octomap import OctoMap
+
+#: Vertical band of points contributing to obstacles. Points close to the
+#: floor are mostly floor returns / noise; ceilings are above phone height.
+DEFAULT_Z_MIN = 0.05
+DEFAULT_Z_MAX = 2.6
+
+
+def calculate_obstacles_map(
+    cloud: PointCloud,
+    spec: GridSpec,
+    obstacle_threshold: int = 4,
+    z_min: float = DEFAULT_Z_MIN,
+    z_max: float = DEFAULT_Z_MAX,
+) -> Grid2D:
+    """Build the obstacles map of ``cloud`` on grid ``spec``.
+
+    The OctoMap leaf resolution matches the map cell size, so one merged
+    column corresponds to one map cell (up to lattice alignment).
+    """
+    grid = Grid2D(spec)
+    if len(cloud) == 0:
+        return grid
+
+    octomap = OctoMap.for_cloud(cloud.xyz, resolution=spec.cell_size_m)
+    octomap.insert_array(cloud.xyz)
+    counts = np.zeros(spec.shape, dtype=float)
+    for cx, cy, cz, count in octomap.leaves():
+        if not z_min <= cz <= z_max:
+            continue
+        cell = spec.cell_of(Vec2(cx, cy))
+        if cell is not None:
+            counts[cell] += count
+
+    grid.data[:] = np.where(counts >= obstacle_threshold, counts, 0.0)
+    return grid
+
+
+def obstacle_cell_count(obstacles: Grid2D) -> int:
+    return obstacles.nonzero_count()

@@ -1,0 +1,185 @@
+"""A simplified OctoMap: octree occupancy over 3-D point clouds.
+
+Algorithm 2 computes "OctoMap Om from M" and then merges "Om cells along
+up-pointing axis". This is a count-occupancy octree (no probabilistic ray
+updates — SnapTask only inserts triangulated points and counts them),
+subdividing space down to a configurable leaf resolution.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import MappingError
+
+
+@dataclass
+class _Node:
+    """Internal octree node; leaves carry point counts."""
+
+    cx: float
+    cy: float
+    cz: float
+    half: float
+    depth: int
+    count: int = 0
+    children: Optional[List[Optional["_Node"]]] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.children is None
+
+
+class OctoMap:
+    """Count-occupancy octree with fixed leaf resolution."""
+
+    def __init__(
+        self,
+        center: Tuple[float, float, float],
+        half_extent: float,
+        resolution: float,
+    ):
+        if resolution <= 0:
+            raise MappingError("octree resolution must be positive")
+        if half_extent <= 0:
+            raise MappingError("octree half extent must be positive")
+        self._resolution = resolution
+        # Depth so that leaf half-size <= resolution / 2.
+        depth = max(0, int(math.ceil(math.log2((2.0 * half_extent) / resolution))))
+        self._max_depth = depth
+        self._root = _Node(center[0], center[1], center[2], half_extent, 0)
+        self._n_points = 0
+
+    @property
+    def resolution(self) -> float:
+        return self._resolution
+
+    @property
+    def max_depth(self) -> int:
+        return self._max_depth
+
+    @property
+    def n_points(self) -> int:
+        return self._n_points
+
+    def insert(self, x: float, y: float, z: float) -> bool:
+        """Insert one point; returns False if outside the octree bounds."""
+        node = self._root
+        if not self._inside(node, x, y, z):
+            return False
+        while node.depth < self._max_depth:
+            if node.children is None:
+                node.children = [None] * 8
+            octant = self._octant(node, x, y, z)
+            child = node.children[octant]
+            if child is None:
+                child = self._make_child(node, octant)
+                node.children[octant] = child
+            node.count += 1
+            node = child
+        node.count += 1
+        self._n_points += 1
+        return True
+
+    def insert_array(self, xyz: np.ndarray) -> int:
+        """Insert (N, 3) points; returns how many fell inside the bounds."""
+        xyz = np.asarray(xyz, dtype=float).reshape(-1, 3)
+        inserted = 0
+        for x, y, z in xyz:
+            if self.insert(float(x), float(y), float(z)):
+                inserted += 1
+        return inserted
+
+    def leaves(self) -> Iterator[Tuple[float, float, float, int]]:
+        """Occupied leaves as (center_x, center_y, center_z, count)."""
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                if node.count > 0 and node.depth == self._max_depth:
+                    yield (node.cx, node.cy, node.cz, node.count)
+            else:
+                for child in node.children:  # type: ignore[union-attr]
+                    if child is not None:
+                        stack.append(child)
+
+    def count_at(self, x: float, y: float, z: float) -> int:
+        """Point count in the leaf containing (x, y, z)."""
+        node = self._root
+        if not self._inside(node, x, y, z):
+            return 0
+        while not node.is_leaf:
+            child = node.children[self._octant(node, x, y, z)]  # type: ignore[index]
+            if child is None:
+                return 0
+            node = child
+        return node.count if node.depth == self._max_depth else 0
+
+    def merge_columns(
+        self, z_min: float = -math.inf, z_max: float = math.inf
+    ) -> Dict[Tuple[int, int], int]:
+        """Merge leaves along the up axis (Algorithm 2 line 3).
+
+        Returns column point counts keyed by integer (ix, iy) leaf indices;
+        only leaves with centres in [z_min, z_max] contribute — callers use
+        this to ignore floor and ceiling returns.
+        """
+        columns: Dict[Tuple[int, int], int] = {}
+        leaf_size = self.leaf_size
+        for cx, cy, cz, count in self.leaves():
+            if not z_min <= cz <= z_max:
+                continue
+            key = (
+                int(math.floor(cx / leaf_size)),
+                int(math.floor(cy / leaf_size)),
+            )
+            columns[key] = columns.get(key, 0) + count
+        return columns
+
+    @property
+    def leaf_size(self) -> float:
+        return (2.0 * self._root.half) / (2 ** self._max_depth)
+
+    # -- internals -------------------------------------------------------------
+
+    @staticmethod
+    def _inside(node: _Node, x: float, y: float, z: float) -> bool:
+        return (
+            abs(x - node.cx) <= node.half
+            and abs(y - node.cy) <= node.half
+            and abs(z - node.cz) <= node.half
+        )
+
+    @staticmethod
+    def _octant(node: _Node, x: float, y: float, z: float) -> int:
+        return (
+            (1 if x >= node.cx else 0)
+            | (2 if y >= node.cy else 0)
+            | (4 if z >= node.cz else 0)
+        )
+
+    @staticmethod
+    def _make_child(node: _Node, octant: int) -> _Node:
+        quarter = node.half / 2.0
+        cx = node.cx + (quarter if octant & 1 else -quarter)
+        cy = node.cy + (quarter if octant & 2 else -quarter)
+        cz = node.cz + (quarter if octant & 4 else -quarter)
+        return _Node(cx, cy, cz, node.half / 2.0, node.depth + 1)
+
+    @staticmethod
+    def for_cloud(
+        xyz: np.ndarray, resolution: float, padding: float = 1.0
+    ) -> "OctoMap":
+        """Octree sized to enclose ``xyz`` with ``padding`` metres of slack."""
+        xyz = np.asarray(xyz, dtype=float).reshape(-1, 3)
+        if xyz.shape[0] == 0:
+            return OctoMap((0.0, 0.0, 0.0), max(padding, resolution), resolution)
+        lo = xyz.min(axis=0) - padding
+        hi = xyz.max(axis=0) + padding
+        center = (lo + hi) / 2.0
+        half = float(max(hi - lo) / 2.0)
+        return OctoMap((center[0], center[1], center[2]), max(half, resolution), resolution)

@@ -1,0 +1,14 @@
+"""Indoor positioning and navigation substrate."""
+
+from .localization import ImageLocalizer, PositionFix
+from .navigation import DEFAULT_WALK_SPEED, NavigationOutcome, Navigator
+from .pathfinding import PathPlanner
+
+__all__ = [
+    "DEFAULT_WALK_SPEED",
+    "ImageLocalizer",
+    "NavigationOutcome",
+    "Navigator",
+    "PathPlanner",
+    "PositionFix",
+]

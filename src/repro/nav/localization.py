@@ -1,0 +1,78 @@
+"""Image-based indoor positioning (error model).
+
+"With SfM-based 3D models, the system can identify user's current position
+based on an image taken from where the user is. The localization is
+implemented based on image feature matching" (Sec. III, reusing the
+authors' iMoon/SeeNav work) — and crucially for the evaluation, "the user
+reaches task location using our indoor positioning system that has up to
+1 meter positioning error" (Sec. V-B3).
+
+The simulator models the *outcome*: a position fix succeeds when the query
+photo shares enough features with the current model, and carries a bounded
+error. Fix error is uniform in a disc of the configured radius, matching
+the paper's "up to 1 meter" phrasing.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Set
+
+from ..camera.photo import Photo
+from ..config import NavigationConfig
+from ..geometry import Vec2
+from ..simkit.rng import RngStream
+
+
+@dataclass(frozen=True)
+class PositionFix:
+    """One localization answer."""
+
+    position: Vec2
+    error_m: float
+    n_matches: int
+
+
+class ImageLocalizer:
+    """Feature-matching localization against the current SfM model."""
+
+    def __init__(self, config: NavigationConfig, rng: RngStream):
+        self._config = config
+        self._rng = rng
+        self._query_count = 0
+
+    @property
+    def query_count(self) -> int:
+        return self._query_count
+
+    def locate(self, photo: Photo, model_feature_ids: Set[int]) -> Optional[PositionFix]:
+        """Localize a query photo; None when too few features match.
+
+        ``model_feature_ids`` is the id set of points in the current model
+        (what real feature matching would match against).
+        """
+        self._query_count += 1
+        matches = sum(1 for fid in photo.feature_id_set() if fid in model_feature_ids)
+        if matches < self._config.localization_min_matches:
+            return None
+        error_pos = self._error_offset(f"fix-{self._query_count}")
+        return PositionFix(
+            position=photo.true_pose.position + error_pos,
+            error_m=error_pos.norm(),
+            n_matches=matches,
+        )
+
+    def perturb_destination(self, destination: Vec2, key: str) -> Vec2:
+        """Where a participant actually ends up when walking to a target.
+
+        Applies the same bounded positioning error without requiring a
+        query photo — used by the guided collector for task navigation.
+        """
+        return destination + self._error_offset(key)
+
+    def _error_offset(self, key: str) -> Vec2:
+        rng = self._rng.child(key)
+        radius = self._config.positioning_error_m * math.sqrt(rng.uniform(0.0, 1.0))
+        angle = rng.uniform(0.0, 2.0 * math.pi)
+        return Vec2.from_angle(angle, radius)

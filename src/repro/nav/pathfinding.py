@@ -1,0 +1,140 @@
+"""Grid A* pathfinding for simulated participants.
+
+Participants walk real corridors: opportunistic walkers follow their daily
+routes, guided participants follow the AR navigation of the paper's SeeNav
+module to reach task locations. Both need collision-free paths through the
+venue, which this module plans on the ground-truth traversability grid.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import SimulationError
+from ..geometry import Vec2
+from ..mapping.grid import GridSpec
+
+# 8-connected moves with costs.
+_MOVES = (
+    (1, 0, 1.0),
+    (-1, 0, 1.0),
+    (0, 1, 1.0),
+    (0, -1, 1.0),
+    (1, 1, math.sqrt(2)),
+    (1, -1, math.sqrt(2)),
+    (-1, 1, math.sqrt(2)),
+    (-1, -1, math.sqrt(2)),
+)
+
+
+class PathPlanner:
+    """A* over a boolean traversability grid."""
+
+    def __init__(self, spec: GridSpec, traversable: np.ndarray):
+        if traversable.shape != spec.shape:
+            raise SimulationError("traversability mask does not match grid spec")
+        self._spec = spec
+        self._traversable = traversable
+
+    @property
+    def spec(self) -> GridSpec:
+        return self._spec
+
+    def is_traversable_cell(self, row: int, col: int) -> bool:
+        return self._spec.in_bounds(row, col) and bool(self._traversable[row, col])
+
+    def nearest_traversable_cell(
+        self, p: Vec2, max_radius_cells: int = 40
+    ) -> Optional[Tuple[int, int]]:
+        """Closest traversable cell to a world point (ring search)."""
+        start = self._spec.cell_of(p)
+        if start is None:
+            start = (
+                min(max(0, int((p.y - self._spec.origin_y) / self._spec.cell_size_m)), self._spec.n_rows - 1),
+                min(max(0, int((p.x - self._spec.origin_x) / self._spec.cell_size_m)), self._spec.n_cols - 1),
+            )
+        if self.is_traversable_cell(*start):
+            return start
+        for radius in range(1, max_radius_cells + 1):
+            for dr in range(-radius, radius + 1):
+                for dc in (-radius, radius):
+                    for cell in ((start[0] + dr, start[1] + dc), (start[0] + dc, start[1] + dr)):
+                        if self.is_traversable_cell(*cell):
+                            return cell
+        return None
+
+    def plan_cells(
+        self, start: Tuple[int, int], goal: Tuple[int, int]
+    ) -> Optional[List[Tuple[int, int]]]:
+        """A* path between two traversable cells (inclusive), or None."""
+        if not self.is_traversable_cell(*start) or not self.is_traversable_cell(*goal):
+            return None
+        if start == goal:
+            return [start]
+
+        def heuristic(cell: Tuple[int, int]) -> float:
+            return math.hypot(cell[0] - goal[0], cell[1] - goal[1])
+
+        open_heap: List[Tuple[float, int, Tuple[int, int]]] = []
+        heapq.heappush(open_heap, (heuristic(start), 0, start))
+        g_score: Dict[Tuple[int, int], float] = {start: 0.0}
+        came_from: Dict[Tuple[int, int], Tuple[int, int]] = {}
+        counter = 1
+        closed = set()
+        while open_heap:
+            _f, _c, current = heapq.heappop(open_heap)
+            if current in closed:
+                continue
+            if current == goal:
+                return self._rebuild(came_from, current)
+            closed.add(current)
+            for dr, dc, cost in _MOVES:
+                neighbour = (current[0] + dr, current[1] + dc)
+                if not self.is_traversable_cell(*neighbour):
+                    continue
+                # Forbid diagonal corner cutting.
+                if dr and dc:
+                    if not (
+                        self.is_traversable_cell(current[0] + dr, current[1])
+                        and self.is_traversable_cell(current[0], current[1] + dc)
+                    ):
+                        continue
+                tentative = g_score[current] + cost
+                if tentative < g_score.get(neighbour, math.inf):
+                    g_score[neighbour] = tentative
+                    came_from[neighbour] = current
+                    heapq.heappush(
+                        open_heap, (tentative + heuristic(neighbour), counter, neighbour)
+                    )
+                    counter += 1
+        return None
+
+    def plan(self, start: Vec2, goal: Vec2) -> Optional[List[Vec2]]:
+        """World-coordinate path between two points (snapped to cells)."""
+        start_cell = self.nearest_traversable_cell(start)
+        goal_cell = self.nearest_traversable_cell(goal)
+        if start_cell is None or goal_cell is None:
+            return None
+        cells = self.plan_cells(start_cell, goal_cell)
+        if cells is None:
+            return None
+        return [self._spec.center_of(*cell) for cell in cells]
+
+    @staticmethod
+    def path_length(path: List[Vec2]) -> float:
+        return sum(path[i].distance_to(path[i + 1]) for i in range(len(path) - 1))
+
+    @staticmethod
+    def _rebuild(
+        came_from: Dict[Tuple[int, int], Tuple[int, int]], current: Tuple[int, int]
+    ) -> List[Tuple[int, int]]:
+        path = [current]
+        while current in came_from:
+            current = came_from[current]
+            path.append(current)
+        path.reverse()
+        return path

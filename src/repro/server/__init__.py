@@ -1,0 +1,29 @@
+"""Client/server deployment layer over the discrete-event simulator."""
+
+from .backend import PROCESSING_S_PER_PHOTO, BackendServer
+from .client import ClientStats, MobileClient
+from .deployment import Deployment, DeploymentReport
+from .messages import (
+    MessageType,
+    PhotoBatch,
+    ProcessingResult,
+    TaskAssignment,
+    TaskRequest,
+)
+from .storage import BackendStore, MapSnapshot
+
+__all__ = [
+    "BackendServer",
+    "BackendStore",
+    "ClientStats",
+    "Deployment",
+    "DeploymentReport",
+    "MapSnapshot",
+    "MessageType",
+    "MobileClient",
+    "PROCESSING_S_PER_PHOTO",
+    "PhotoBatch",
+    "ProcessingResult",
+    "TaskAssignment",
+    "TaskRequest",
+]

@@ -1,0 +1,141 @@
+"""The backend server: SnapTask's cloud side over the simulated network.
+
+Wraps a :class:`SnapTaskPipeline` behind the message protocol: it hands
+out tasks from its queue, processes uploaded photo batches with
+Algorithm 1 as they arrive, stores map snapshots, and answers
+localization queries against the current model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from ..annotation.processor import AnnotationProcessor
+from ..core.pipeline import BatchOutcome, SnapTaskPipeline
+from ..core.tasks import Task, TaskKind
+from ..errors import ProtocolError
+from ..nav.localization import ImageLocalizer, PositionFix
+from ..simkit.events import Simulator
+from .messages import PhotoBatch, ProcessingResult, TaskAssignment, TaskRequest
+from .storage import BackendStore
+
+#: Simulated server-side processing time per uploaded photo (SfM is the
+#: paper's acknowledged bottleneck, Sec. II-A).
+PROCESSING_S_PER_PHOTO = 0.35
+
+
+class BackendServer:
+    """Single-venue SnapTask backend."""
+
+    def __init__(
+        self,
+        pipeline: SnapTaskPipeline,
+        simulator: Simulator,
+        venue_id: str,
+        localizer: Optional[ImageLocalizer] = None,
+        annotation_processor: Optional[AnnotationProcessor] = None,
+    ):
+        self._pipeline = pipeline
+        self._sim = simulator
+        self._store = BackendStore(venue_id)
+        self._localizer = localizer
+        self._annotation = annotation_processor
+        self._task_queue: List[Task] = []
+        self._result_log: List[ProcessingResult] = []
+
+    @property
+    def store(self) -> BackendStore:
+        return self._store
+
+    @property
+    def pipeline(self) -> SnapTaskPipeline:
+        return self._pipeline
+
+    @property
+    def results(self) -> List[ProcessingResult]:
+        return list(self._result_log)
+
+    # -- protocol handlers ---------------------------------------------------------
+
+    def handle_task_request(self, request: TaskRequest) -> TaskAssignment:
+        """Assign the next pending task, or report completion."""
+        if self._pipeline.venue_covered:
+            return TaskAssignment(client_id=request.client_id, task=None, venue_covered=True)
+        while self._task_queue:
+            task = self._task_queue.pop(0)
+            self._store.record_task(task)
+            assigned = self._store.assign_task(task.task_id, request.client_id)
+            return TaskAssignment(client_id=request.client_id, task=assigned)
+        return TaskAssignment(client_id=request.client_id, task=None, venue_covered=False)
+
+    def handle_photo_batch(
+        self,
+        batch: PhotoBatch,
+        on_done: Optional[Callable[[ProcessingResult], None]] = None,
+    ) -> None:
+        """Queue SfM processing of an uploaded batch (simulated latency).
+
+        ``on_done`` fires when processing completes, carrying the result
+        the server would push back to the client.
+        """
+        if not batch.photos:
+            raise ProtocolError("empty photo batch upload")
+        delay = PROCESSING_S_PER_PHOTO * len(batch.photos)
+        self._sim.schedule(
+            delay,
+            lambda: self._process(batch, on_done),
+            label=f"process-batch:{batch.client_id}",
+        )
+
+    def handle_localization_query(self, photo) -> Optional[PositionFix]:
+        """Image-based positioning against the current model."""
+        if self._localizer is None:
+            raise ProtocolError("backend has no localizer configured")
+        model_ids = {int(f) for f in self._pipeline.model().cloud.feature_ids}
+        return self._localizer.locate(photo, model_ids)
+
+    # -- internals --------------------------------------------------------------------
+
+    def _process(
+        self,
+        batch: PhotoBatch,
+        on_done: Optional[Callable[[ProcessingResult], None]],
+    ) -> None:
+        task = self._store.task(batch.task_id) if batch.task_id is not None else None
+        photos = list(batch.photos)
+        if (
+            task is not None
+            and task.kind == TaskKind.ANNOTATION
+            and self._annotation is not None
+        ):
+            # The online annotation tool runs server-side (Sec. III):
+            # label the uploaded frames, fuse with Algorithm 5, imprint
+            # with Algorithm 6, then reconstruct.
+            annotated, context = AnnotationProcessor.split_batch(photos)
+            if annotated:
+                processed = self._annotation.process(annotated)
+                self._pipeline.register_artificial_features(
+                    processed.imprint.all_feature_ids(),
+                    processed.imprint.all_feature_positions(),
+                )
+                photos = list(processed.imprint.photos) + context
+                self._store.bump("annotations_collected", processed.n_annotations)
+                self._store.bump("surfaces_identified", len(processed.objects))
+        outcome = self._pipeline.process_batch(photos, task)
+        self._store.save_maps(outcome.iteration, outcome.coverage_cells, outcome.maps)
+        self._store.bump("photos_processed", len(batch.photos))
+        if batch.task_id is not None:
+            self._store.complete_task(batch.task_id)
+        for new_task in outcome.new_tasks:
+            self._task_queue.append(new_task)
+        result = ProcessingResult(
+            client_id=batch.client_id,
+            task_id=batch.task_id,
+            photos_added=outcome.photos_added,
+            coverage_cells=outcome.coverage_cells,
+            venue_covered=outcome.venue_covered,
+        )
+        self._result_log.append(result)
+        if on_done is not None:
+            on_done(result)

@@ -1,0 +1,197 @@
+"""The mobile client: requests tasks, captures, uploads over the network.
+
+One :class:`MobileClient` models the app of Sec. III / Fig. 3: it asks the
+backend for a task, walks there with AR navigation, performs the 360°
+capture (or the annotation flow), and streams the batch up through the
+simulated channel. Driving several clients against one backend on one
+event loop exercises the full distributed deployment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..annotation.tool import AnnotationCampaign
+from ..camera.capture import CaptureSimulator
+from ..camera.pose import CameraPose
+from ..core.tasks import Task, TaskKind
+from ..crowd.participants import Participant
+from ..errors import ProtocolError
+from ..geometry import Vec2
+from ..nav.navigation import Navigator
+from ..simkit.events import Simulator
+from ..simkit.network import DuplexLink
+from .backend import BackendServer
+from .messages import PhotoBatch, ProcessingResult, TaskAssignment, TaskRequest
+
+#: Guided captures are steady (same value the crowd simulator uses).
+CLIENT_CAPTURE_BLUR = 0.03
+
+#: Seconds per captured photo during a sweep.
+CAPTURE_INTERVAL_S = 1.0
+
+
+@dataclass
+class ClientStats:
+    tasks_completed: int = 0
+    photo_tasks: int = 0
+    annotation_tasks: int = 0
+    photos_uploaded: int = 0
+    walk_time_s: float = 0.0
+    localization_queries: int = 0
+    localization_misses: int = 0
+    results: List[ProcessingResult] = field(default_factory=list)
+
+
+class MobileClient:
+    """One participant's phone connected to the backend."""
+
+    def __init__(
+        self,
+        client_id: str,
+        participant: Participant,
+        server: BackendServer,
+        capture: CaptureSimulator,
+        navigator: Navigator,
+        annotation: AnnotationCampaign,
+        simulator: Simulator,
+        link: DuplexLink,
+        start_position: Vec2,
+        photo_size_mb: float = 2.5,
+    ):
+        self._client_id = client_id
+        self._participant = participant
+        self._server = server
+        self._capture = capture
+        self._navigator = navigator
+        self._annotation = annotation
+        self._sim = simulator
+        self._link = link
+        self._position = start_position
+        self._photo_size_mb = photo_size_mb
+        self._active = False
+        self.stats = ClientStats()
+
+    @property
+    def client_id(self) -> str:
+        return self._client_id
+
+    @property
+    def position(self) -> Vec2:
+        return self._position
+
+    def start(self) -> None:
+        """Begin the request/capture/upload loop on the event queue."""
+        if self._active:
+            raise ProtocolError(f"client {self._client_id} already started")
+        self._active = True
+        self._sim.schedule(0.0, self._request_task, label=f"{self._client_id}:request")
+
+    def stop(self) -> None:
+        self._active = False
+
+    # -- loop steps -----------------------------------------------------------------
+
+    def _request_task(self) -> None:
+        if not self._active:
+            return
+        request = TaskRequest(client_id=self._client_id, position=self._position)
+        self._link.uplink.send(
+            request,
+            lambda msg: self._on_assignment(self._server.handle_task_request(msg)),
+            size_mb=0.001,
+            label="task-request",
+        )
+
+    def _on_assignment(self, assignment: TaskAssignment) -> None:
+        if not self._active:
+            return
+        if assignment.task is None:
+            if assignment.venue_covered:
+                self._active = False
+                return
+            # Nothing to do right now; poll again shortly.
+            self._sim.schedule(5.0, self._request_task, label=f"{self._client_id}:poll")
+            return
+        self._execute(assignment.task)
+
+    def _execute(self, task: Task) -> None:
+        start = self._localize()
+        nav = self._navigator.navigate(start, task.location)
+        self._position = nav.arrived
+        self.stats.walk_time_s += nav.walk_time_s
+
+        if task.kind == TaskKind.PHOTO_COLLECTION:
+            photos = list(
+                self._capture.sweep(
+                    nav.arrived,
+                    self._participant.device,
+                    step_deg=8.0,
+                    blur=CLIENT_CAPTURE_BLUR,
+                    start_timestamp_s=self._sim.now + nav.walk_time_s,
+                    source=f"client:{self._client_id}",
+                )
+            )
+            self.stats.photo_tasks += 1
+        else:
+            _surface, photos = self._annotation.collect_photos(
+                task.location, self._participant.device, timestamp_s=self._sim.now
+            )
+            photos = photos + self._annotation.collect_context_photos(
+                task.location, self._participant.device, timestamp_s=self._sim.now
+            )
+            self.stats.annotation_tasks += 1
+
+        capture_time = nav.walk_time_s + CAPTURE_INTERVAL_S * len(photos)
+        batch = PhotoBatch(
+            client_id=self._client_id, task_id=task.task_id, photos=tuple(photos)
+        )
+        self.stats.photos_uploaded += len(photos)
+        self._sim.schedule(
+            capture_time,
+            lambda: self._upload(batch),
+            label=f"{self._client_id}:capture",
+        )
+
+    def _localize(self) -> Vec2:
+        """Image-based positioning before navigation (Sec. III).
+
+        The client takes a query photo and asks the backend to match it
+        against the model; on failure it falls back to dead reckoning
+        (its last known position).
+        """
+        import math
+
+        query = self._capture.take_photo(
+            CameraPose(self._position, 0.0),
+            self._participant.device,
+            blur=CLIENT_CAPTURE_BLUR,
+            timestamp_s=self._sim.now,
+            source=f"query:{self._client_id}",
+        )
+        try:
+            fix = self._server.handle_localization_query(query)
+        except ProtocolError:
+            fix = None
+        self.stats.localization_queries += 1
+        if fix is None:
+            self.stats.localization_misses += 1
+            return self._position
+        return fix.position
+
+    def _upload(self, batch: PhotoBatch) -> None:
+        self._link.uplink.send(
+            batch,
+            lambda msg: self._server.handle_photo_batch(msg, self._on_result),
+            size_mb=self._photo_size_mb * len(batch.photos),
+            label="photo-batch",
+        )
+
+    def _on_result(self, result: ProcessingResult) -> None:
+        self.stats.results.append(result)
+        self.stats.tasks_completed += 1
+        if result.venue_covered:
+            self._active = False
+            return
+        self._sim.schedule(1.0, self._request_task, label=f"{self._client_id}:next")

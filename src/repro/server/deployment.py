@@ -1,0 +1,118 @@
+"""A full simulated deployment: backend + N mobile clients + network.
+
+This is the distributed-system harness the ICDCS audience cares about:
+several phones concurrently requesting tasks, walking, capturing and
+uploading over latency/bandwidth-limited links to one backend whose SfM
+processing is itself time-consuming. Everything runs on one
+discrete-event loop, so runs are deterministic and timings measurable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..annotation.processor import AnnotationProcessor
+from ..annotation.tool import AnnotationCampaign
+from ..crowd.guided import GuidedCampaign
+from ..crowd.participants import guided_participants
+from ..nav.localization import ImageLocalizer
+from ..simkit.events import Simulator
+from ..simkit.network import DuplexLink
+from .backend import BackendServer
+from .client import MobileClient
+
+
+@dataclass(frozen=True)
+class DeploymentReport:
+    """Summary of one simulated deployment run."""
+
+    sim_time_s: float
+    events_processed: int
+    venue_covered: bool
+    tasks_completed: int
+    photos_uploaded: int
+    total_traffic_mb: float
+    coverage_cells: int
+
+
+class Deployment:
+    """Builds and runs a client/server SnapTask deployment."""
+
+    def __init__(self, bench, n_clients: int = 2):
+        """``bench`` is an :class:`repro.eval.workbench.Workbench`."""
+        self.simulator = Simulator()
+        self.pipeline = bench.make_pipeline()
+        self.server = BackendServer(
+            self.pipeline,
+            self.simulator,
+            venue_id=bench.venue.name,
+            localizer=ImageLocalizer(
+                bench.config.nav, bench.rng.stream("deploy-localizer")
+            ),
+            annotation_processor=AnnotationProcessor(
+                bench.venue, bench.config, bench.rng.stream("deploy-processor")
+            ),
+        )
+        annotation = AnnotationCampaign(
+            bench.venue, bench.capture, bench.config, bench.rng.stream("deploy-annot")
+        )
+        participants = guided_participants(
+            max(2, n_clients), bench.rng.stream("deploy-participants")
+        )
+        self.links: List[DuplexLink] = []
+        self.clients: List[MobileClient] = []
+        for i in range(n_clients):
+            link = DuplexLink(self.simulator, bench.config.network, name=f"client-{i}")
+            self.links.append(link)
+            self.clients.append(
+                MobileClient(
+                    client_id=f"client-{i}",
+                    participant=participants[i],
+                    server=self.server,
+                    capture=bench.capture,
+                    navigator=bench.make_navigator(f"deploy-nav-{i}"),
+                    annotation=annotation,
+                    simulator=self.simulator,
+                    link=link,
+                    start_position=bench.venue.entrance,
+                    photo_size_mb=bench.config.network.photo_size_mb,
+                )
+            )
+        self._bench = bench
+
+    def bootstrap(self) -> None:
+        """Seed the initial model (entrance video + geo-calibration)."""
+        campaign = GuidedCampaign(
+            venue=self._bench.venue,
+            capture=self._bench.capture,
+            pipeline=self.pipeline,
+            navigator=self._bench.make_navigator("deploy-bootstrap-nav"),
+            annotation=AnnotationCampaign(
+                self._bench.venue,
+                self._bench.capture,
+                self._bench.config,
+                self._bench.rng.stream("deploy-bootstrap-annot"),
+            ),
+            participants=guided_participants(2, self._bench.rng.stream("deploy-bsp")),
+            rng=self._bench.rng.stream("deploy-bootstrap"),
+        )
+        outcome = campaign.bootstrap()
+        for task in outcome.new_tasks:
+            self.server._task_queue.append(task)  # noqa: SLF001 - deployment glue
+
+    def run(self, until_s: float = 20_000.0, max_events: int = 200_000) -> DeploymentReport:
+        """Bootstrap, start all clients, and drive the event loop."""
+        self.bootstrap()
+        for client in self.clients:
+            client.start()
+        self.simulator.run(until=until_s, max_events=max_events)
+        return DeploymentReport(
+            sim_time_s=self.simulator.now,
+            events_processed=self.simulator.processed_events,
+            venue_covered=self.pipeline.venue_covered,
+            tasks_completed=sum(c.stats.tasks_completed for c in self.clients),
+            photos_uploaded=sum(c.stats.photos_uploaded for c in self.clients),
+            total_traffic_mb=sum(link.total_traffic_mb() for link in self.links),
+            coverage_cells=self.pipeline.coverage_cells,
+        )

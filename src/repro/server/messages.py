@@ -1,0 +1,87 @@
+"""Wire messages between the mobile client and the backend server.
+
+The SnapTask deployment is a distributed system (Sec. III): the client
+requests tasks, streams photo batches up, and receives task assignments
+and navigation data down. These dataclasses are the protocol.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from ..camera.photo import Photo
+from ..core.tasks import Task
+from ..geometry import Vec2
+
+
+class MessageType(enum.Enum):
+    TASK_REQUEST = "task_request"
+    TASK_ASSIGNMENT = "task_assignment"
+    PHOTO_BATCH = "photo_batch"
+    PROCESSING_RESULT = "processing_result"
+    VENUE_COVERED = "venue_covered"
+    LOCALIZATION_QUERY = "localization_query"
+    LOCALIZATION_RESPONSE = "localization_response"
+
+
+@dataclass(frozen=True)
+class TaskRequest:
+    """Client asks for work."""
+
+    client_id: str
+    position: Optional[Vec2] = None
+
+    @property
+    def message_type(self) -> MessageType:
+        return MessageType.TASK_REQUEST
+
+
+@dataclass(frozen=True)
+class TaskAssignment:
+    """Server assigns a task (or signals completion with task=None)."""
+
+    client_id: str
+    task: Optional[Task]
+    venue_covered: bool = False
+
+    @property
+    def message_type(self) -> MessageType:
+        return (
+            MessageType.VENUE_COVERED if self.task is None else MessageType.TASK_ASSIGNMENT
+        )
+
+
+@dataclass(frozen=True)
+class PhotoBatch:
+    """Client streams captured photos for one task."""
+
+    client_id: str
+    task_id: Optional[int]
+    photos: Tuple[Photo, ...]
+
+    @property
+    def message_type(self) -> MessageType:
+        return MessageType.PHOTO_BATCH
+
+    @property
+    def size_mb(self) -> float:
+        """Payload size used by the network simulation (per-photo size is
+        applied by the channel sender)."""
+        return float(len(self.photos))
+
+
+@dataclass(frozen=True)
+class ProcessingResult:
+    """Server reports the outcome of one processed batch."""
+
+    client_id: str
+    task_id: Optional[int]
+    photos_added: bool
+    coverage_cells: int
+    venue_covered: bool
+
+    @property
+    def message_type(self) -> MessageType:
+        return MessageType.PROCESSING_RESULT

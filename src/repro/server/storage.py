@@ -1,0 +1,114 @@
+"""Backend storage: "the model and maps are stored in a database for
+further iterations" (Algorithm 1's output handling).
+
+An in-memory store with the semantics the backend needs: versioned map
+snapshots per venue, task ledger, and simple metrics counters. The store
+is deliberately synchronous and single-writer — the paper's backend
+processes one batch at a time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..core.tasks import Task, TaskStatus
+from ..errors import ProtocolError
+from ..mapping.coverage import CoverageMaps
+
+
+@dataclass(frozen=True)
+class MapSnapshot:
+    """One stored (iteration, maps, coverage) record."""
+
+    version: int
+    iteration: int
+    coverage_cells: int
+    maps: CoverageMaps
+
+
+class BackendStore:
+    """In-memory database for one venue's models, maps and tasks."""
+
+    def __init__(self, venue_id: str):
+        self._venue_id = venue_id
+        self._snapshots: List[MapSnapshot] = []
+        self._tasks: Dict[int, Task] = {}
+        self._assignments: Dict[int, str] = {}  # task id -> client id
+        self._counters: Dict[str, int] = {}
+
+    @property
+    def venue_id(self) -> str:
+        return self._venue_id
+
+    # -- map snapshots -----------------------------------------------------------
+
+    def save_maps(self, iteration: int, coverage_cells: int, maps: CoverageMaps) -> MapSnapshot:
+        snapshot = MapSnapshot(
+            version=len(self._snapshots) + 1,
+            iteration=iteration,
+            coverage_cells=coverage_cells,
+            maps=maps,
+        )
+        self._snapshots.append(snapshot)
+        return snapshot
+
+    def latest_maps(self) -> Optional[MapSnapshot]:
+        return self._snapshots[-1] if self._snapshots else None
+
+    def snapshot_history(self) -> List[MapSnapshot]:
+        return list(self._snapshots)
+
+    # -- task ledger ----------------------------------------------------------------
+
+    def record_task(self, task: Task) -> None:
+        self._tasks[task.task_id] = task
+
+    def assign_task(self, task_id: int, client_id: str) -> Task:
+        task = self._tasks.get(task_id)
+        if task is None:
+            raise ProtocolError(f"unknown task {task_id}")
+        if task.status not in (TaskStatus.PENDING,):
+            raise ProtocolError(f"task {task_id} is {task.status.value}, not assignable")
+        assigned = task.assigned()
+        self._tasks[task_id] = assigned
+        self._assignments[task_id] = client_id
+        return assigned
+
+    def complete_task(self, task_id: int) -> Task:
+        task = self._tasks.get(task_id)
+        if task is None:
+            raise ProtocolError(f"unknown task {task_id}")
+        done = task.completed()
+        self._tasks[task_id] = done
+        return done
+
+    def task(self, task_id: int) -> Task:
+        try:
+            return self._tasks[task_id]
+        except KeyError:
+            raise ProtocolError(f"unknown task {task_id}") from None
+
+    def pending_tasks(self) -> List[Task]:
+        return sorted(
+            (t for t in self._tasks.values() if t.status == TaskStatus.PENDING),
+            key=lambda t: t.task_id,
+        )
+
+    def assignee_of(self, task_id: int) -> Optional[str]:
+        return self._assignments.get(task_id)
+
+    def tasks_by_status(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for task in self._tasks.values():
+            counts[task.status.value] = counts.get(task.status.value, 0) + 1
+        return counts
+
+    # -- counters --------------------------------------------------------------------
+
+    def bump(self, counter: str, amount: int = 1) -> int:
+        self._counters[counter] = self._counters.get(counter, 0) + amount
+        return self._counters[counter]
+
+    def counter(self, name: str) -> int:
+        return self._counters.get(name, 0)

@@ -1,0 +1,20 @@
+"""SfM substrate: matching, incremental reconstruction, clouds, filtering."""
+
+from .filters import sor_filter, sor_mask
+from .matching import MatchIndex, match_count
+from .model import RecoveredCamera, SfmModel
+from .pointcloud import CloudPoint, PointCloud
+from .reconstruction import IncrementalSfm, RegistrationReport
+
+__all__ = [
+    "CloudPoint",
+    "IncrementalSfm",
+    "MatchIndex",
+    "PointCloud",
+    "RecoveredCamera",
+    "RegistrationReport",
+    "SfmModel",
+    "match_count",
+    "sor_filter",
+    "sor_mask",
+]

@@ -1,0 +1,48 @@
+"""Statistical outlier removal for SfM point clouds.
+
+Algorithm 1 line 2: "we filter the SfM model with Statistical Outlier
+Filter to remove any outlier 3D points" (the paper cites the PCL
+StatisticalOutlierRemoval tutorial). The classic formulation: compute each
+point's mean distance to its k nearest neighbours; points whose mean
+distance exceeds ``global_mean + std_ratio * global_std`` are outliers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.spatial import cKDTree
+
+from ..errors import ReconstructionError
+from .pointcloud import PointCloud
+
+
+def sor_mask(
+    xyz: np.ndarray, n_neighbors: int = 8, std_ratio: float = 2.0
+) -> np.ndarray:
+    """Inlier mask for a statistical outlier filter over ``xyz`` (N, 3).
+
+    Returns all-True when the cloud is too small for the neighbourhood
+    statistic to be meaningful (fewer than ``n_neighbors + 1`` points).
+    """
+    xyz = np.asarray(xyz, dtype=float)
+    if xyz.ndim != 2 or xyz.shape[1] != 3:
+        raise ReconstructionError("sor_mask expects an (N, 3) array")
+    n = xyz.shape[0]
+    if n <= n_neighbors:
+        return np.ones(n, dtype=bool)
+
+    tree = cKDTree(xyz)
+    # k+1 because the closest neighbour of each point is itself.
+    distances, _ = tree.query(xyz, k=n_neighbors + 1)
+    mean_dist = distances[:, 1:].mean(axis=1)
+    threshold = mean_dist.mean() + std_ratio * mean_dist.std()
+    return mean_dist <= threshold
+
+
+def sor_filter(
+    cloud: PointCloud, n_neighbors: int = 8, std_ratio: float = 2.0
+) -> PointCloud:
+    """Filtered copy of ``cloud`` (Algorithm 1's ``sorFilter``)."""
+    if len(cloud) == 0:
+        return cloud
+    return cloud.subset(sor_mask(cloud.xyz, n_neighbors, std_ratio))

@@ -1,0 +1,118 @@
+"""Point clouds produced by the SfM simulator.
+
+A cloud is a set of 3-D points, each tied to the stable feature id it was
+triangulated from and annotated with its view count and provenance
+(world / artificial-texture / reflection). The mapping layer consumes the
+numpy views; the provenance masks exist for evaluation and debugging.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ReconstructionError
+from ..venue.features import ARTIFICIAL_FEATURE_BASE, REFLECTION_FEATURE_BASE
+
+
+@dataclass(frozen=True)
+class CloudPoint:
+    """One reconstructed 3-D point."""
+
+    feature_id: int
+    x: float
+    y: float
+    z: float
+    n_views: int
+
+    @property
+    def is_artificial(self) -> bool:
+        """Created from an Algorithm-6 artificial texture."""
+        return ARTIFICIAL_FEATURE_BASE <= self.feature_id < REFLECTION_FEATURE_BASE
+
+    @property
+    def is_reflection(self) -> bool:
+        return self.feature_id >= REFLECTION_FEATURE_BASE
+
+
+class PointCloud:
+    """Immutable collection of reconstructed points with numpy views."""
+
+    def __init__(self, points: Sequence[CloudPoint]):
+        self._points: Tuple[CloudPoint, ...] = tuple(points)
+        n = len(self._points)
+        self._xyz = np.zeros((n, 3), dtype=float)
+        self._ids = np.zeros(n, dtype=int)
+        self._views = np.zeros(n, dtype=int)
+        for i, p in enumerate(self._points):
+            self._xyz[i] = (p.x, p.y, p.z)
+            self._ids[i] = p.feature_id
+            self._views[i] = p.n_views
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def __iter__(self):
+        return iter(self._points)
+
+    @property
+    def points(self) -> Tuple[CloudPoint, ...]:
+        return self._points
+
+    @property
+    def xyz(self) -> np.ndarray:
+        """(N, 3) positions."""
+        return self._xyz
+
+    @property
+    def feature_ids(self) -> np.ndarray:
+        return self._ids
+
+    @property
+    def view_counts(self) -> np.ndarray:
+        return self._views
+
+    @property
+    def artificial_mask(self) -> np.ndarray:
+        return (self._ids >= ARTIFICIAL_FEATURE_BASE) & (self._ids < REFLECTION_FEATURE_BASE)
+
+    @property
+    def reflection_mask(self) -> np.ndarray:
+        return self._ids >= REFLECTION_FEATURE_BASE
+
+    def floor_xy(self) -> np.ndarray:
+        """(N, 2) floor-plane projection (what the maps are built from)."""
+        return self._xyz[:, :2]
+
+    def subset(self, mask: np.ndarray) -> "PointCloud":
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape[0] != len(self._points):
+            raise ReconstructionError("subset mask length mismatch")
+        return PointCloud([p for p, keep in zip(self._points, mask) if keep])
+
+    def without_reflections(self) -> "PointCloud":
+        return self.subset(~self.reflection_mask)
+
+    def merged_with(self, other: "PointCloud") -> "PointCloud":
+        """Union by feature id; points from ``other`` win on collision."""
+        by_id: Dict[int, CloudPoint] = {p.feature_id: p for p in self._points}
+        for p in other.points:
+            by_id[p.feature_id] = p
+        return PointCloud([by_id[k] for k in sorted(by_id)])
+
+    def bounding_box_2d(self) -> Optional[Tuple[float, float, float, float]]:
+        if len(self._points) == 0:
+            return None
+        xy = self.floor_xy()
+        return (
+            float(xy[:, 0].min()),
+            float(xy[:, 1].min()),
+            float(xy[:, 0].max()),
+            float(xy[:, 1].max()),
+        )
+
+    @staticmethod
+    def empty() -> "PointCloud":
+        return PointCloud([])

@@ -1,0 +1,392 @@
+"""Incremental SfM reconstruction (simulated).
+
+This engine reproduces the *behavioural contract* of an incremental SfM
+pipeline such as OpenMVG, which is what every SnapTask algorithm depends
+on:
+
+* photos register into the model only when they share enough matched
+  features with already-registered photos (chained registration — a batch
+  with no visual overlap with the model stays unregistered, the paper's
+  "the new photos were not added to a model" branch);
+* a 3-D point appears only once >= 3 registered photos observe the same
+  feature ("SfM pipeline that we use needs at least 3 observations of a
+  same point to reconstruct it");
+* triangulated positions and recovered camera poses carry noise that grows
+  with viewing distance;
+* previously-unregistrable photos are retried whenever new photos register
+  (models "can be updated by adding additional photos").
+
+Triangulation uses the simulator's feature-position oracle plus calibrated
+noise rather than multi-view geometry on pixel coordinates — the
+substitution documented in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+import numpy as np
+
+from ..camera.photo import Photo
+from ..camera.pose import CameraPose
+from ..config import SfmConfig
+from ..errors import ReconstructionError
+from ..geometry import Vec2, Vec3
+from ..simkit.rng import RngStream
+from ..venue.features import ARTIFICIAL_FEATURE_BASE, REFLECTION_FEATURE_BASE, FeatureWorld
+from .matching import MatchIndex
+from .model import RecoveredCamera, SfmModel
+from .pointcloud import CloudPoint, PointCloud
+
+
+@dataclass(frozen=True)
+class RegistrationReport:
+    """Outcome of one ``add_photos`` call."""
+
+    batch_size: int
+    newly_registered: int
+    still_pending: int
+    new_points: int
+    total_points: int
+    total_cameras: int
+
+    @property
+    def any_registered(self) -> bool:
+        return self.newly_registered > 0
+
+
+class IncrementalSfm:
+    """Stateful incremental reconstruction over a stream of photo batches."""
+
+    def __init__(
+        self,
+        world: FeatureWorld,
+        config: SfmConfig,
+        rng: RngStream,
+    ):
+        self._world = world
+        self._config = config
+        self._rng = rng
+        self._pending = MatchIndex()
+        self._photos: Dict[int, Photo] = {}
+        self._registered: Dict[int, RecoveredCamera] = {}
+        # feature id -> photo ids among *registered* photos observing it.
+        self._feature_obs: Dict[int, Set[int]] = {}
+        # feature id -> reconstructed point (created at >= min_views).
+        self._points: Dict[int, CloudPoint] = {}
+        # Oracle positions for artificial-texture features (Algorithm 6).
+        self._artificial_positions: Dict[int, Vec3] = {}
+        # Cache of per-feature noise draws so rebuilt clouds are stable.
+        self._noise_cache: Dict[int, Tuple[float, float, float]] = {}
+        # Viewpoint-compatible matching state: per-feature bitmask of the
+        # angular buckets registered observers saw it from, and per-photo
+        # cached buckets for each of its observations.
+        self._view_masks: Dict[int, int] = {}
+        self._photo_bucket_cache: Dict[int, np.ndarray] = {}
+        n_buckets = self._config.view_compat_buckets
+        spread = self._config.view_compat_spread
+        self._compat_masks = []
+        for b in range(n_buckets):
+            mask = 0
+            for d in range(-spread, spread + 1):
+                mask |= 1 << ((b + d) % n_buckets)
+            self._compat_masks.append(mask)
+
+    # -- public state ----------------------------------------------------------
+
+    @property
+    def config(self) -> SfmConfig:
+        return self._config
+
+    @property
+    def n_registered(self) -> int:
+        return len(self._registered)
+
+    @property
+    def n_pending(self) -> int:
+        return len(self._pending)
+
+    @property
+    def n_points(self) -> int:
+        return len(self._points)
+
+    def is_registered(self, photo_id: int) -> bool:
+        return photo_id in self._registered
+
+    def registered_ids(self) -> List[int]:
+        return sorted(self._registered)
+
+    def pending_ids(self) -> List[int]:
+        return sorted(p.photo_id for p in self._pending.photos())
+
+    def register_artificial_features(
+        self, ids: Iterable[int], positions: Iterable[Vec3]
+    ) -> None:
+        """Teach the engine the 3-D positions of imprinted texture features.
+
+        Algorithm 6 creates features that exist only on modified images; the
+        engine needs their world positions to triangulate them. Positions
+        come from the annotation pipeline's plane fit, so annotation error
+        propagates into the reconstructed glass surfaces.
+        """
+        for fid, pos in zip(ids, positions):
+            if fid < ARTIFICIAL_FEATURE_BASE:
+                raise ReconstructionError(
+                    f"feature {fid} is not in the artificial id space"
+                )
+            self._artificial_positions[int(fid)] = pos
+
+    # -- reconstruction ----------------------------------------------------------
+
+    def add_photos(self, photos: Iterable[Photo]) -> RegistrationReport:
+        """Register a new batch, retrying older pending photos as well."""
+        batch = list(photos)
+        for photo in batch:
+            if photo.photo_id in self._photos:
+                raise ReconstructionError(f"photo {photo.photo_id} already added")
+            self._photos[photo.photo_id] = photo
+            self._pending.add(photo)
+
+        points_before = len(self._points)
+        newly_registered = self._run_registration()
+        new_points = len(self._points) - points_before
+        return RegistrationReport(
+            batch_size=len(batch),
+            newly_registered=newly_registered,
+            still_pending=len(self._pending),
+            new_points=new_points,
+            total_points=len(self._points),
+            total_cameras=len(self._registered),
+        )
+
+    def model(self) -> SfmModel:
+        """Snapshot of the current reconstruction."""
+        cloud = PointCloud([self._points[k] for k in sorted(self._points)])
+        return SfmModel(cloud, list(self._registered.values()))
+
+    # -- internals ---------------------------------------------------------------
+
+    def _run_registration(self) -> int:
+        """Drive registration to a fixpoint; returns #newly registered."""
+        registered_count = 0
+        if not self._registered:
+            registered_count += self._bootstrap()
+        progress = True
+        while progress:
+            progress = False
+            registrable: List[Photo] = []
+            for photo in self._pending.photos():
+                overlap = self._compatible_overlap(photo)
+                if self._registrable(photo, overlap):
+                    registrable.append(photo)
+            for photo in sorted(registrable, key=lambda p: p.photo_id):
+                self._register(photo)
+                registered_count += 1
+                progress = True
+            if not progress:
+                progress = self._register_rigs() > 0
+                registered_count += 1 if progress else 0
+        self._triangulate()
+        return registered_count
+
+    def _register_rigs(self) -> int:
+        """Rig fallback for texture-sharing photo groups (Algorithm 6).
+
+        Photos carrying the same imprinted texture are rigidly related by
+        hundreds of texture correspondences; jointly they register when
+        their combined world-feature matches reach the (small) rig anchor
+        threshold, even if no single photo clears the solo threshold.
+        """
+        from collections import defaultdict
+
+        from ..annotation.textures import FEATURES_PER_TEXTURE
+
+        known = set(self._feature_obs)
+        rigs = defaultdict(list)
+        for photo in self._pending.photos():
+            artificial = [
+                int(f)
+                for f in photo.feature_ids
+                if ARTIFICIAL_FEATURE_BASE <= f < REFLECTION_FEATURE_BASE
+            ]
+            if len(artificial) < self._config.rig_texture_matches:
+                continue
+            texture_block = (artificial[0] - ARTIFICIAL_FEATURE_BASE) // FEATURES_PER_TEXTURE
+            rigs[texture_block].append(photo)
+
+        registered = 0
+        for _block, photos in sorted(rigs.items()):
+            if len(photos) < 2:
+                continue
+            union_matches = set()
+            for photo in photos:
+                union_matches |= {
+                    f
+                    for f in photo.feature_id_set()
+                    if f < ARTIFICIAL_FEATURE_BASE and f in known
+                }
+            if len(union_matches) >= self._config.min_rig_anchor_matches:
+                for photo in sorted(photos, key=lambda p: p.photo_id):
+                    self._register(photo)
+                    registered += 1
+        return registered
+
+    def _feature_position_fast(self, fid: int):
+        if fid >= ARTIFICIAL_FEATURE_BASE and fid < REFLECTION_FEATURE_BASE:
+            pos = self._artificial_positions.get(fid)
+            return (pos.x, pos.y) if pos is not None else None
+        feature = self._world.feature(fid)
+        return (feature.position.x, feature.position.y)
+
+    def _buckets_for(self, photo: Photo) -> np.ndarray:
+        """Angular bucket of the camera as seen from each observed feature.
+
+        255 marks wildcard observations (artificial-texture matches are
+        viewpoint-insensitive: the imprinted pattern is identical in every
+        photo of the set).
+        """
+        cached = self._photo_bucket_cache.get(photo.photo_id)
+        if cached is not None:
+            return cached
+        n_buckets = self._config.view_compat_buckets
+        cx = photo.true_pose.position.x
+        cy = photo.true_pose.position.y
+        buckets = np.full(photo.n_features, 255, dtype=np.uint8)
+        for i, fid in enumerate(photo.feature_ids):
+            fid = int(fid)
+            if ARTIFICIAL_FEATURE_BASE <= fid < REFLECTION_FEATURE_BASE:
+                continue  # wildcard
+            xy = self._feature_position_fast(fid)
+            if xy is None:
+                continue
+            angle = math.atan2(cy - xy[1], cx - xy[0])
+            buckets[i] = int((angle + math.pi) / (2.0 * math.pi) * n_buckets) % n_buckets
+        self._photo_bucket_cache[photo.photo_id] = buckets
+        return buckets
+
+    def _compatible_overlap(self, photo: Photo) -> int:
+        """Matches against the model restricted to compatible viewpoints.
+
+        A real pipeline cannot match descriptors across wide baselines: a
+        feature only matches if some registered photo observed it from a
+        nearby direction.
+        """
+        buckets = self._buckets_for(photo)
+        masks = self._view_masks
+        compat = self._compat_masks
+        count = 0
+        for fid, bucket in zip(photo.feature_ids, buckets):
+            mask = masks.get(int(fid))
+            if mask is None:
+                continue
+            if bucket == 255 or mask & compat[bucket]:
+                count += 1
+        return count
+
+    def _registrable(self, photo: Photo, overlap: int) -> bool:
+        """Registration test: enough absolute matches, or a feature-poor
+        photo whose matches are nearly all of its detections."""
+        if overlap >= self._config.min_registration_matches:
+            return True
+        if photo.n_features == 0:
+            return False
+        ratio = overlap / photo.n_features
+        return (
+            overlap >= self._config.min_ratio_matches
+            and ratio >= self._config.registration_inlier_ratio
+        )
+
+    def _bootstrap(self) -> int:
+        """Seed the model from the strongest pending photo pair."""
+        seed = self._pending.best_seed_pair(self._config.min_pair_matches)
+        if seed is None:
+            return 0
+        id_a, id_b, _matches = seed
+        self._register(self._pending.photo(id_a))
+        self._register(self._pending.photo(id_b))
+        return 2
+
+    def _register(self, photo: Photo) -> None:
+        self._pending.remove(photo.photo_id)
+        pose = self._recover_pose(photo)
+        self._registered[photo.photo_id] = RecoveredCamera(
+            photo_id=photo.photo_id,
+            pose=pose,
+            intrinsics=photo.exif.intrinsics(),
+            n_inliers=photo.n_features,
+            observed_feature_ids=photo.feature_ids.copy(),
+        )
+        buckets = self._buckets_for(photo)
+        for fid, bucket in zip(photo.feature_ids, buckets):
+            fid = int(fid)
+            self._feature_obs.setdefault(fid, set()).add(photo.photo_id)
+            if bucket == 255:
+                self._view_masks[fid] = (1 << self._config.view_compat_buckets) - 1
+            else:
+                self._view_masks[fid] = self._view_masks.get(fid, 0) | (1 << int(bucket))
+
+    def _recover_pose(self, photo: Photo) -> CameraPose:
+        """True pose + calibrated recovery noise (bundle-adjustment error)."""
+        rng = self._rng.child(f"pose-{photo.photo_id}")
+        true = photo.true_pose
+        offset = Vec2(
+            rng.normal(0.0, self._config.camera_pose_noise_m),
+            rng.normal(0.0, self._config.camera_pose_noise_m),
+        )
+        yaw = true.yaw_rad + math.radians(
+            rng.normal(0.0, self._config.camera_yaw_noise_deg)
+        )
+        return CameraPose(true.position + offset, yaw, true.height_m)
+
+    def _triangulate(self) -> None:
+        """Create points for features with enough registered observations."""
+        for fid, observers in self._feature_obs.items():
+            if fid in self._points:
+                continue
+            if len(observers) < self._config.min_views_per_point:
+                continue
+            position = self._feature_position(fid)
+            if position is None:
+                continue
+            noisy = self._noisy_position(fid, position, observers)
+            self._points[fid] = CloudPoint(
+                feature_id=fid,
+                x=noisy[0],
+                y=noisy[1],
+                z=noisy[2],
+                n_views=len(observers),
+            )
+
+    def _feature_position(self, fid: int) -> Optional[Vec3]:
+        if fid >= ARTIFICIAL_FEATURE_BASE:
+            return self._artificial_positions.get(fid)
+        return self._world.feature(fid).position
+
+    def _noisy_position(
+        self, fid: int, position: Vec3, observers: Set[int]
+    ) -> Tuple[float, float, float]:
+        if fid not in self._noise_cache:
+            mean_dist = self._mean_view_distance(position, observers)
+            sigma = (
+                self._config.point_noise_sigma_m
+                + self._config.point_noise_range_gain * mean_dist
+            )
+            rng = self._rng.child(f"point-{fid}")
+            self._noise_cache[fid] = (
+                rng.normal(0.0, sigma),
+                rng.normal(0.0, sigma),
+                rng.normal(0.0, sigma),
+            )
+        nx, ny, nz = self._noise_cache[fid]
+        return (position.x + nx, position.y + ny, position.z + nz)
+
+    def _mean_view_distance(self, position: Vec3, observers: Set[int]) -> float:
+        target = Vec2(position.x, position.y)
+        dists = [
+            self._registered[pid].pose.position.distance_to(target)
+            for pid in observers
+            if pid in self._registered
+        ]
+        return sum(dists) / len(dists) if dists else 0.0

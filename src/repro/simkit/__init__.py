@@ -1,0 +1,15 @@
+"""Deterministic simulation substrate: RNG streams, event loop, network."""
+
+from .events import EventToken, Simulator
+from .network import Channel, Delivery, DuplexLink
+from .rng import RngRegistry, RngStream
+
+__all__ = [
+    "Channel",
+    "Delivery",
+    "DuplexLink",
+    "EventToken",
+    "RngRegistry",
+    "RngStream",
+    "Simulator",
+]

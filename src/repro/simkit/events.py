@@ -1,0 +1,147 @@
+"""A small discrete-event simulation kernel.
+
+SnapTask is a distributed system: mobile clients upload photo batches over
+a network, the backend processes them and issues new tasks. The kernel here
+gives those interactions explicit simulated time — upload durations,
+processing delays and task round-trips are all events on one queue — so the
+server/client layer can be tested deterministically and the benchmarks can
+report end-to-end latencies.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional
+
+from ..errors import SimulationError
+
+EventHandler = Callable[[], None]
+
+
+@dataclass(order=True)
+class _ScheduledEvent:
+    time: float
+    sequence: int
+    label: str = field(compare=False)
+    handler: EventHandler = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventToken:
+    """Handle to a scheduled event allowing cancellation."""
+
+    def __init__(self, event: _ScheduledEvent):
+        self._event = event
+
+    @property
+    def time(self) -> float:
+        return self._event.time
+
+    @property
+    def label(self) -> str:
+        return self._event.label
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.cancelled
+
+    def cancel(self) -> None:
+        self._event.cancelled = True
+
+
+class Simulator:
+    """Single-threaded discrete-event loop with deterministic ordering.
+
+    Events at equal timestamps run in scheduling order (FIFO), which keeps
+    runs reproducible without relying on handler side effects.
+    """
+
+    def __init__(self, start_time: float = 0.0):
+        self._now = start_time
+        self._queue: List[_ScheduledEvent] = []
+        self._sequence = itertools.count()
+        self._processed = 0
+        self._trace: List[str] = []
+        self._tracing = False
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def processed_events(self) -> int:
+        return self._processed
+
+    def enable_tracing(self) -> None:
+        """Record executed event labels (for tests and debugging)."""
+        self._tracing = True
+
+    @property
+    def trace(self) -> List[str]:
+        return list(self._trace)
+
+    def schedule(self, delay: float, handler: EventHandler, label: str = "") -> EventToken:
+        """Schedule ``handler`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        event = _ScheduledEvent(
+            time=self._now + delay,
+            sequence=next(self._sequence),
+            label=label,
+            handler=handler,
+        )
+        heapq.heappush(self._queue, event)
+        return EventToken(event)
+
+    def schedule_at(self, time: float, handler: EventHandler, label: str = "") -> EventToken:
+        """Schedule ``handler`` at an absolute simulated time."""
+        return self.schedule(time - self._now, handler, label)
+
+    def step(self) -> bool:
+        """Run the next pending event. Returns False when the queue is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            if event.time < self._now - 1e-12:
+                raise SimulationError("event queue time went backwards")
+            self._now = event.time
+            self._processed += 1
+            if self._tracing:
+                self._trace.append(f"{event.time:.6f}:{event.label}")
+            event.handler()
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None, max_events: int = 1_000_000) -> None:
+        """Drain the event queue, optionally stopping at time ``until``.
+
+        ``max_events`` guards against accidental infinite event loops.
+        """
+        executed = 0
+        while self._queue:
+            next_time = self._peek_time()
+            if until is not None and next_time is not None and next_time > until:
+                self._now = until
+                return
+            if not self.step():
+                return
+            executed += 1
+            if executed > max_events:
+                raise SimulationError(
+                    f"simulation exceeded max_events={max_events}; likely an event loop"
+                )
+        if until is not None and until > self._now:
+            self._now = until
+
+    def _peek_time(self) -> Optional[float]:
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        return self._queue[0].time if self._queue else None
+
+    def pending(self) -> int:
+        """Number of live (non-cancelled) events still queued."""
+        return sum(1 for e in self._queue if not e.cancelled)

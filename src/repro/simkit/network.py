@@ -1,0 +1,99 @@
+"""Simulated network channel between mobile clients and the backend.
+
+Models the two costs the paper's deployment pays when "the phone
+simultaneously sends the captured images to a cloud server": a fixed
+per-message latency and a bandwidth-limited transfer time proportional to
+payload size. Delivery order on one channel is FIFO, matching TCP streams.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+from ..config import NetworkConfig
+from ..errors import SimulationError
+from .events import Simulator
+
+MessageHandler = Callable[[Any], None]
+
+
+@dataclass(frozen=True)
+class Delivery:
+    """Bookkeeping record for one delivered message."""
+
+    sent_at: float
+    delivered_at: float
+    size_mb: float
+    label: str
+
+    @property
+    def transfer_time_s(self) -> float:
+        return self.delivered_at - self.sent_at
+
+
+class Channel:
+    """One-directional FIFO channel with latency + bandwidth delays."""
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        config: NetworkConfig,
+        name: str = "channel",
+    ):
+        self._sim = simulator
+        self._config = config
+        self._name = name
+        self._busy_until = 0.0
+        self._deliveries: list = []
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def deliveries(self) -> list:
+        return list(self._deliveries)
+
+    def transfer_time(self, size_mb: float) -> float:
+        """Seconds to push ``size_mb`` through the configured bandwidth."""
+        if size_mb < 0:
+            raise SimulationError("negative payload size")
+        return (size_mb * 8.0) / self._config.bandwidth_mbps
+
+    def send(
+        self,
+        payload: Any,
+        handler: MessageHandler,
+        size_mb: float = 0.0,
+        label: str = "msg",
+    ) -> Delivery:
+        """Send ``payload``; ``handler`` fires when delivery completes.
+
+        Transfers are serialised: a message starts only after the channel
+        finishes the previous one (FIFO), then takes latency + size/bw.
+        """
+        sent_at = self._sim.now
+        start = max(sent_at, self._busy_until)
+        delivered_at = start + self._config.latency_s + self.transfer_time(size_mb)
+        self._busy_until = delivered_at
+        record = Delivery(sent_at=sent_at, delivered_at=delivered_at, size_mb=size_mb, label=label)
+        self._deliveries.append(record)
+        self._sim.schedule_at(
+            delivered_at, lambda: handler(payload), label=f"{self._name}:{label}"
+        )
+        return record
+
+    def total_bytes_mb(self) -> float:
+        return sum(d.size_mb for d in self._deliveries)
+
+
+class DuplexLink:
+    """A pair of channels modelling a client <-> server connection."""
+
+    def __init__(self, simulator: Simulator, config: NetworkConfig, name: str = "link"):
+        self.uplink = Channel(simulator, config, name=f"{name}:up")
+        self.downlink = Channel(simulator, config, name=f"{name}:down")
+
+    def total_traffic_mb(self) -> float:
+        return self.uplink.total_bytes_mb() + self.downlink.total_bytes_mb()

@@ -1,0 +1,59 @@
+"""Venue substrate: materials, surfaces, world features, replica venues."""
+
+from .features import (
+    ARTIFICIAL_FEATURE_BASE,
+    REFLECTION_FEATURE_BASE,
+    FeatureWorld,
+    WorldFeature,
+    build_feature_world,
+)
+from .generators import OfficeSpec, generate_office
+from .library import build_library
+from .materials import (
+    BOOKSHELF,
+    BRICK,
+    DESK,
+    FABRIC,
+    GLASS,
+    MIRROR,
+    PLASTER,
+    POSTER,
+    SPARSE_TABLE,
+    WHITEBOARD,
+    WOOD,
+    Material,
+    material_by_name,
+    preset_names,
+)
+from .model import Hotspot, Venue
+from .surfaces import Surface, SurfaceKind, box_surfaces
+
+__all__ = [
+    "ARTIFICIAL_FEATURE_BASE",
+    "REFLECTION_FEATURE_BASE",
+    "FeatureWorld",
+    "Hotspot",
+    "Material",
+    "OfficeSpec",
+    "Surface",
+    "SurfaceKind",
+    "Venue",
+    "WorldFeature",
+    "box_surfaces",
+    "build_feature_world",
+    "build_library",
+    "generate_office",
+    "material_by_name",
+    "preset_names",
+    "BRICK",
+    "BOOKSHELF",
+    "DESK",
+    "FABRIC",
+    "GLASS",
+    "MIRROR",
+    "PLASTER",
+    "POSTER",
+    "SPARSE_TABLE",
+    "WHITEBOARD",
+    "WOOD",
+]

@@ -1,0 +1,90 @@
+"""Surface materials and their visual-feature properties.
+
+The whole SnapTask story hinges on one physical fact: SfM feature
+extractors fire on textured surfaces and stay silent on featureless ones
+(glass, mirrors, bare plaster). A :class:`Material` therefore carries the
+two properties the capture and SfM simulators need:
+
+* ``feature_density`` — expected SfM-detectable features per square metre
+  of surface. Zero for glass.
+* ``opaque`` — whether the surface occludes the view behind it. Glass is
+  transparent: cameras (and the visibility raster) see through it, which is
+  exactly why unannotated glass leaves holes in the obstacles map while the
+  space behind it still appears "covered".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import VenueError
+
+
+@dataclass(frozen=True)
+class Material:
+    """Physical surface type as seen by a camera."""
+
+    name: str
+    feature_density: float  # features / m^2
+    opaque: bool = True
+    reflective: bool = False
+
+    def __post_init__(self) -> None:
+        if self.feature_density < 0:
+            raise VenueError(f"material {self.name}: negative feature density")
+
+    @property
+    def featureless(self) -> bool:
+        """True when conventional SfM cannot reconstruct this surface.
+
+        The paper treats any surface below usable texture as featureless;
+        we use a small threshold rather than exactly zero so that sparse
+        plaster walls also qualify (the paper's annotation task 2 targets
+        "a featureless wall of a meeting room").
+        """
+        return self.feature_density < 6.0
+
+
+# --- Presets used by the venue builders ------------------------------------
+
+BRICK = Material("brick", feature_density=34.0)
+BOOKSHELF = Material("bookshelf", feature_density=58.0)
+WOOD = Material("wood", feature_density=26.0)
+FABRIC = Material("fabric", feature_density=22.0)
+DESK = Material("desk", feature_density=24.0)
+SPARSE_TABLE = Material("sparse_table", feature_density=7.0)
+POSTER = Material("poster", feature_density=85.0)
+PLASTER = Material("plaster", feature_density=5.0)
+GLASS = Material("glass", feature_density=0.0, opaque=False, reflective=True)
+MIRROR = Material("mirror", feature_density=0.0, opaque=True, reflective=True)
+WHITEBOARD = Material("whiteboard", feature_density=1.0)
+FACADE = Material("facade", feature_density=15.0)
+
+_PRESETS = {
+    m.name: m
+    for m in (
+        BRICK,
+        BOOKSHELF,
+        WOOD,
+        FABRIC,
+        DESK,
+        SPARSE_TABLE,
+        POSTER,
+        PLASTER,
+        GLASS,
+        MIRROR,
+        WHITEBOARD,
+    )
+}
+
+
+def material_by_name(name: str) -> Material:
+    """Look up a preset material; raises :class:`VenueError` if unknown."""
+    try:
+        return _PRESETS[name]
+    except KeyError:
+        raise VenueError(f"unknown material {name!r}") from None
+
+
+def preset_names() -> list:
+    return sorted(_PRESETS)

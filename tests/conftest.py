@@ -1,0 +1,58 @@
+"""Shared fixtures: a library workbench and cheap sub-objects.
+
+The workbench is session-scoped — building the feature world once keeps
+the suite fast. Tests that mutate state (pipelines, engines) always build
+their own instances from the shared immutable substrates.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.camera import GALAXY_S7, CaptureSimulator
+from repro.config import paper_config
+from repro.eval import Workbench
+from repro.simkit import RngStream
+from repro.venue import OfficeSpec, build_feature_world, build_library, generate_office
+
+
+@pytest.fixture(scope="session")
+def config():
+    return paper_config()
+
+
+@pytest.fixture(scope="session")
+def library():
+    return build_library()
+
+
+@pytest.fixture(scope="session")
+def bench():
+    """Shared library workbench (immutable substrates only)."""
+    return Workbench.for_library()
+
+
+@pytest.fixture(scope="session")
+def world(bench):
+    return bench.world
+
+
+@pytest.fixture(scope="session")
+def capture(bench):
+    return bench.capture
+
+
+@pytest.fixture(scope="session")
+def ground_truth(bench):
+    return bench.ground_truth
+
+
+@pytest.fixture(scope="session")
+def office():
+    spec = OfficeSpec(width_m=14.0, depth_m=10.0, glass_walls=1, n_furniture=5)
+    return generate_office(spec, RngStream(7, "office"))
+
+
+@pytest.fixture()
+def rng():
+    return RngStream(123, "test")

@@ -1,0 +1,117 @@
+"""Tests for from-scratch DBSCAN and k-means."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.annotation import (
+    NOISE,
+    cluster_centroids,
+    dbscan,
+    kmeans,
+    largest_cluster_centroid,
+)
+from repro.errors import AnnotationError
+from repro.simkit import RngStream
+
+
+def blobs(centers, n_per=20, sigma=0.3, seed=0):
+    rng = np.random.default_rng(seed)
+    parts = [rng.normal(c, sigma, size=(n_per, len(c))) for c in centers]
+    return np.vstack(parts)
+
+
+class TestDbscan:
+    def test_two_blobs(self):
+        points = blobs([(0, 0), (10, 10)])
+        labels = dbscan(points, eps=1.5, min_samples=4)
+        assert set(labels) == {0, 1}
+        # Points of the same blob share a label.
+        assert len(set(labels[:20])) == 1
+        assert len(set(labels[20:])) == 1
+
+    def test_noise_points(self):
+        points = np.vstack([blobs([(0, 0)]), [[50.0, 50.0]]])
+        labels = dbscan(points, eps=1.5, min_samples=4)
+        assert labels[-1] == NOISE
+
+    def test_min_samples_gate(self):
+        points = np.array([[0.0, 0.0], [0.1, 0.0], [0.2, 0.0]])
+        labels = dbscan(points, eps=0.5, min_samples=5)
+        assert (labels == NOISE).all()
+
+    def test_empty(self):
+        assert dbscan(np.zeros((0, 2)), 1.0, 3).shape == (0,)
+
+    def test_validation(self):
+        with pytest.raises(AnnotationError):
+            dbscan(np.zeros((3, 2)), eps=0.0, min_samples=3)
+        with pytest.raises(AnnotationError):
+            dbscan(np.zeros(3), eps=1.0, min_samples=3)
+
+    def test_border_point_adoption(self):
+        # A chain where the end point is within eps of a core point but is
+        # not core itself.
+        points = np.array([[0, 0], [0.4, 0], [0.8, 0], [1.2, 0], [1.6, 0]])
+        labels = dbscan(points, eps=0.5, min_samples=3)
+        assert (labels == 0).all()
+
+    @settings(deadline=None, max_examples=25)
+    @given(st.integers(1, 4), st.integers(2, 6))
+    def test_all_labels_valid(self, n_blobs, min_samples):
+        centers = [(8.0 * i, 0.0) for i in range(n_blobs)]
+        points = blobs(centers, n_per=12, sigma=0.2, seed=n_blobs)
+        labels = dbscan(points, eps=1.0, min_samples=min_samples)
+        assert labels.shape == (points.shape[0],)
+        assert labels.min() >= NOISE
+
+    def test_cluster_centroids(self):
+        points = blobs([(0, 0), (10, 10)])
+        labels = dbscan(points, eps=1.5, min_samples=4)
+        centroids = cluster_centroids(points, labels)
+        assert len(centroids) == 2
+        distances = [min(np.linalg.norm(c - np.array(t)) for c in centroids) for t in [(0, 0), (10, 10)]]
+        assert max(distances) < 1.0
+
+    def test_largest_cluster_centroid(self):
+        points = np.vstack([blobs([(0, 0)], n_per=30), blobs([(10, 10)], n_per=5, seed=1)])
+        centroid = largest_cluster_centroid(points, eps=1.5, min_samples=4)
+        assert centroid is not None
+        assert np.linalg.norm(centroid) < 1.0
+
+    def test_largest_cluster_all_noise(self):
+        points = np.array([[0.0, 0.0], [50.0, 50.0]])
+        assert largest_cluster_centroid(points, eps=1.0, min_samples=3) is None
+
+
+class TestKmeans:
+    def test_four_corners(self):
+        corners = [(0, 0), (10, 0), (10, 10), (0, 10)]
+        points = blobs(corners, n_per=15, sigma=0.4)
+        result = kmeans(points, 4, RngStream(3, "km"))
+        assert result.centroids.shape == (4, 2)
+        for corner in corners:
+            nearest = np.min(np.linalg.norm(result.centroids - np.array(corner), axis=1))
+            assert nearest < 1.0
+
+    def test_labels_partition(self):
+        points = blobs([(0, 0), (10, 10)], n_per=10)
+        result = kmeans(points, 2, RngStream(3, "km"))
+        assert result.labels.shape == (20,)
+        assert set(result.labels) == {0, 1}
+
+    def test_too_few_points(self):
+        with pytest.raises(AnnotationError):
+            kmeans(np.zeros((2, 2)), 4, RngStream(3, "km"))
+
+    def test_deterministic(self):
+        points = blobs([(0, 0), (5, 5)], n_per=10)
+        a = kmeans(points, 2, RngStream(3, "km"))
+        b = kmeans(points, 2, RngStream(3, "km"))
+        assert np.allclose(a.centroids, b.centroids)
+
+    def test_inertia_nonnegative_and_converges(self):
+        points = blobs([(0, 0), (5, 5)], n_per=10)
+        result = kmeans(points, 2, RngStream(3, "km"))
+        assert result.inertia >= 0
+        assert result.iterations <= 60

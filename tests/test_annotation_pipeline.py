@@ -1,0 +1,215 @@
+"""Tests for workers, bounds fusion (Alg 5), textures and imprint (Alg 6)."""
+
+import numpy as np
+import pytest
+
+from repro.annotation import (
+    AnnotationCampaign,
+    FEATURES_PER_TEXTURE,
+    TextureDatabase,
+    WorkerPool,
+    annotate_surface,
+    get_marked_obstacle_bounds,
+    identify_annotated_surface,
+    order_corners,
+    reconstruct_featureless_surfaces,
+    visible_featureless_surfaces,
+)
+from repro.camera import GALAXY_S7, CameraPose
+from repro.core import SnapTaskPipeline, TaskFactory
+from repro.errors import AnnotationError
+from repro.geometry import Vec2
+from repro.simkit import RngStream
+from repro.venue.features import ARTIFICIAL_FEATURE_BASE
+
+
+@pytest.fixture()
+def glass_photos(bench):
+    """Four photos facing a west-glass pane from inside, with context."""
+    campaign = AnnotationCampaign(
+        bench.venue, bench.capture, bench.config, RngStream(41, "annot-test")
+    )
+    surface, photos = campaign.collect_photos(Vec2(0.5, 7.0), GALAXY_S7)
+    return surface, photos
+
+
+class TestWorkers:
+    def test_visible_surfaces_sorted_by_distance(self, bench):
+        photo = bench.capture.take_photo(
+            CameraPose.at(3.0, 7.0, 3.14159), GALAXY_S7, exposure_compensated=True
+        )
+        visible = visible_featureless_surfaces(bench.venue, photo)
+        assert visible, "west glass should be visible"
+        distances = [
+            s.segment.distance_to_point(photo.true_pose.position) for s in visible
+        ]
+        assert distances == sorted(distances)
+
+    def test_annotate_surface_noise_and_clamping(self, bench):
+        photo = bench.capture.take_photo(
+            CameraPose.at(3.0, 7.0, 3.14159), GALAXY_S7, exposure_compensated=True
+        )
+        surface = visible_featureless_surfaces(bench.venue, photo)[0]
+        annotation = annotate_surface(
+            surface, photo, worker_id=1, rng=RngStream(1, "w"), corner_noise_px=30.0
+        )
+        assert annotation is not None
+        corners = annotation.corners_array()
+        assert corners.shape == (4, 2)
+        assert (corners[:, 0] >= 0).all() and (corners[:, 0] <= 4032).all()
+
+    def test_behind_camera_returns_none(self, bench):
+        photo = bench.capture.take_photo(
+            CameraPose.at(3.0, 7.0, 0.0), GALAXY_S7  # facing east, glass behind
+        )
+        surface = bench.venue.nearest_featureless_surface(Vec2(0.5, 7.0))
+        annotation = annotate_surface(
+            surface, photo, 1, RngStream(1, "w"), corner_noise_px=30.0
+        )
+        assert annotation is None
+
+    def test_worker_pool_annotates_all_photos(self, bench, glass_photos, config):
+        _surface, photos = glass_photos
+        pool = WorkerPool(bench.venue, config.annotation, RngStream(2, "pool"))
+        annotations = pool.annotate_photo_set(photos)
+        counts = [len(annotations[p.photo_id]) for p in photos]
+        assert max(counts) == config.annotation.workers_per_task
+        total = sum(counts)
+        assert total >= config.annotation.workers_per_task * 2  # most photos annotated
+
+
+class TestBoundsFusion:
+    def test_order_corners_canonical(self):
+        corners = np.array([[10, 0], [0, 0], [0, 10], [10, 10]], dtype=float)
+        ordered = order_corners(corners)
+        assert ordered[0].tolist() == [0, 0]  # top-left first
+        # Going around the quad, consecutive corners share an edge.
+        assert ordered.shape == (4, 2)
+
+    def test_fusion_recovers_objects(self, bench, glass_photos, config):
+        _surface, photos = glass_photos
+        pool = WorkerPool(bench.venue, config.annotation, RngStream(2, "pool"))
+        annotations = pool.annotate_photo_set(photos)
+        objects = get_marked_obstacle_bounds(
+            [p.photo_id for p in photos], annotations, config.annotation, RngStream(3, "f")
+        )
+        assert len(objects) >= 1
+        main = objects[0]
+        assert len(main.worker_ids) >= config.annotation.dbscan_center_min_samples
+        assert main.n_photos >= 2
+        for corners in main.corners_by_photo.values():
+            assert corners.shape == (4, 2)
+
+    def test_empty_photo_set_rejected(self, config):
+        with pytest.raises(AnnotationError):
+            get_marked_obstacle_bounds([], {}, config.annotation, RngStream(1, "x"))
+
+    def test_no_annotations_no_objects(self, config):
+        objects = get_marked_obstacle_bounds(
+            [1, 2], {1: [], 2: []}, config.annotation, RngStream(1, "x")
+        )
+        assert objects == []
+
+
+class TestTextures:
+    def test_unique_blocks(self):
+        db = TextureDatabase()
+        a, b = db.next_texture(), db.next_texture()
+        assert a.texture_id != b.texture_id
+        assert a.base_feature_id != b.base_feature_id
+        assert a.owns(a.feature_id(0))
+        assert not a.owns(b.feature_id(0))
+
+    def test_feature_id_range(self):
+        texture = TextureDatabase().next_texture()
+        assert texture.feature_id(0) >= ARTIFICIAL_FEATURE_BASE
+        with pytest.raises(AnnotationError):
+            texture.feature_id(FEATURES_PER_TEXTURE)
+
+    def test_reverse_lookup(self):
+        db = TextureDatabase()
+        texture = db.next_texture()
+        assert db.texture_of_feature(texture.feature_id(5)) is texture
+        with pytest.raises(AnnotationError):
+            db.texture_of_feature(ARTIFICIAL_FEATURE_BASE + 10_000_000)
+
+
+class TestImprint:
+    def test_identify_surface(self, bench, glass_photos):
+        surface, photos = glass_photos
+        proj_photo = photos[0]
+        # Centre of the pane in pixel space.
+        projection = proj_photo.true_pose.projection(GALAXY_S7)
+        mid = surface.segment.midpoint
+        from repro.geometry import Vec3
+
+        pixel = projection.project_unclamped(Vec3(mid.x, mid.y, 1.35))
+        if pixel is None:
+            pytest.skip("pane centre not in this frame")
+        found = identify_annotated_surface(
+            proj_photo, (pixel.x, pixel.y), bench.venue.featureless_surfaces()
+        )
+        assert found is not None
+        assert found.material.featureless
+
+    def test_reconstruction_produces_points_on_plane(self, bench, glass_photos, config):
+        surface, photos = glass_photos
+        pool = WorkerPool(bench.venue, config.annotation, RngStream(2, "pool"))
+        annotations = pool.annotate_photo_set(photos)
+        objects = get_marked_obstacle_bounds(
+            [p.photo_id for p in photos], annotations, config.annotation, RngStream(3, "f")
+        )
+        result = reconstruct_featureless_surfaces(
+            photos,
+            objects,
+            bench.venue.featureless_surfaces(),
+            TextureDatabase(),
+            config.annotation,
+            RngStream(4, "imp"),
+        )
+        assert result.objects, "at least one object imprinted"
+        obj = result.objects[0]
+        target = bench.venue.surface(obj.surface_id)
+        # All texture features lie near the annotated plane.
+        for pos in obj.feature_positions:
+            assert target.segment.distance_to_point(Vec2(pos.x, pos.y)) < 0.3
+        # Photos got the artificial observations.
+        imprinted = [p for p in result.photos if p.photo_id in obj.photos_with_texture]
+        for photo in imprinted:
+            assert (photo.feature_ids >= ARTIFICIAL_FEATURE_BASE).any()
+
+
+class TestCampaignEndToEnd:
+    def test_annotation_task_reconstructs_glass(self, bench):
+        from repro.camera import GALAXY_S7
+
+        pipeline = bench.make_pipeline()
+        # Build a model in the west area so annotation photos can register.
+        for center in [(3, 3), (3, 6), (3.5, 9)]:
+            pipeline.process_batch(
+                list(bench.capture.sweep(Vec2(*center), GALAXY_S7, 8.0, blur=0.0))
+            )
+        campaign = AnnotationCampaign(
+            bench.venue, bench.capture, bench.config, RngStream(77, "campaign")
+        )
+        task = TaskFactory().annotation_task(Vec2(0.5, 7.0), iteration=9)
+        result = campaign.run(task, pipeline, GALAXY_S7)
+        assert result.n_annotations > 0
+        assert result.n_identified >= 1
+        model = pipeline.model()
+        assert result.n_reconstructed(model) >= 1
+        assert model.cloud.artificial_mask.sum() > 50
+
+    def test_far_task_reports_empty(self, bench):
+        pipeline = bench.make_pipeline()
+        pipeline.process_batch(
+            list(bench.capture.sweep(Vec2(10.5, 3.7), GALAXY_S7, 8.0, blur=0.0))
+        )
+        campaign = AnnotationCampaign(
+            bench.venue, bench.capture, bench.config, RngStream(78, "far")
+        )
+        # An aisle deep between shelves: no featureless surface within 6 m.
+        task = TaskFactory().annotation_task(Vec2(10.5, 3.7), iteration=2)
+        result = campaign.run(task, pipeline, GALAXY_S7)
+        assert result.n_identified == 0
+        assert result.n_annotations == 0

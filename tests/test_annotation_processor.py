@@ -1,0 +1,62 @@
+"""Tests for the server-side AnnotationProcessor."""
+
+import pytest
+
+from repro.annotation import AnnotationCampaign, AnnotationProcessor
+from repro.camera import GALAXY_S7
+from repro.geometry import Vec2
+from repro.simkit import RngStream
+
+
+@pytest.fixture()
+def glass_set(bench):
+    campaign = AnnotationCampaign(
+        bench.venue, bench.capture, bench.config, RngStream(91, "proc-test")
+    )
+    surface, photos = campaign.collect_photos(Vec2(0.5, 7.0), GALAXY_S7)
+    context = campaign.collect_context_photos(Vec2(0.5, 7.0), GALAXY_S7)
+    return surface, photos, context
+
+
+class TestProcessor:
+    def test_process_identifies_and_imprints(self, bench, glass_set):
+        _surface, photos, _context = glass_set
+        processor = AnnotationProcessor(
+            bench.venue, bench.config, RngStream(92, "proc")
+        )
+        result = processor.process(photos)
+        assert result.n_annotations > 0
+        assert len(result.objects) >= 1
+        assert result.imprint.objects
+        assert result.imprint.all_feature_ids()
+
+    def test_textures_unique_across_calls(self, bench, glass_set):
+        _surface, photos, _context = glass_set
+        processor = AnnotationProcessor(
+            bench.venue, bench.config, RngStream(93, "proc2")
+        )
+        first = processor.process(photos)
+        # Processing a second (identical) set must issue fresh textures.
+        second = processor.process(photos)
+        ids_a = set(first.imprint.all_feature_ids())
+        ids_b = set(second.imprint.all_feature_ids())
+        assert ids_a and ids_b
+        assert not (ids_a & ids_b)
+
+    def test_split_batch_by_source(self, bench, glass_set):
+        _surface, photos, context = glass_set
+        annotated, rest = AnnotationProcessor.split_batch(list(photos) + context)
+        assert {p.photo_id for p in annotated} == {p.photo_id for p in photos}
+        assert {p.photo_id for p in rest} == {p.photo_id for p in context}
+
+    def test_worker_draws_vary_between_sets(self, bench, glass_set):
+        """Per-set RNG: two sets must not get identical worker behaviour."""
+        _surface, photos, _context = glass_set
+        processor = AnnotationProcessor(
+            bench.venue, bench.config, RngStream(94, "proc3")
+        )
+        a = processor.process(photos)
+        b = processor.process(photos)
+        corners_a = a.objects[0].corners_by_photo[photos[0].photo_id]
+        corners_b = b.objects[0].corners_by_photo[photos[0].photo_id]
+        assert not (corners_a == corners_b).all()

@@ -1,0 +1,110 @@
+"""Tests for aspect coverage and the Fig. 8/9 path renderers."""
+
+import numpy as np
+import pytest
+
+from repro.camera import GALAXY_S7, CameraPose
+from repro.eval.paths import (
+    path_statistics,
+    render_photo_positions,
+    render_task_positions,
+)
+from repro.geometry import BoundingBox, Vec2
+from repro.mapping import Grid2D, GridSpec, calculate_aspect_coverage
+from repro.mapping.aspects import AspectCoverage, N_ASPECT_BUCKETS
+from repro.sfm import PointCloud, SfmModel
+from repro.sfm.model import RecoveredCamera
+from repro.sfm.pointcloud import CloudPoint
+
+
+def camera_at(photo_id, x, y, yaw, observed):
+    return RecoveredCamera(
+        photo_id=photo_id,
+        pose=CameraPose.at(x, y, yaw),
+        intrinsics=GALAXY_S7,
+        n_inliers=10,
+        observed_feature_ids=np.asarray(observed, dtype=int),
+    )
+
+
+class TestAspectCoverage:
+    def spec(self):
+        return GridSpec.from_bbox(BoundingBox(0, 0, 10, 10), 0.25, 0.0)
+
+    def ring_model(self, target=Vec2(5, 5), radius=2.0, n=8):
+        """Cameras on a ring, all looking at the centre; one point there."""
+        import math
+
+        cloud = PointCloud([CloudPoint(1, target.x, target.y, 1.0, 3)])
+        cameras = []
+        for i in range(n):
+            angle = 2 * math.pi * i / n
+            pos = target + Vec2.from_angle(angle, radius)
+            cameras.append(
+                camera_at(i + 1, pos.x, pos.y, angle + math.pi, [1])
+            )
+        return SfmModel(cloud, cameras)
+
+    def test_ring_gives_many_aspects_at_center(self):
+        spec = self.spec()
+        model = self.ring_model()
+        aspects = calculate_aspect_coverage(model, Grid2D(spec), 5.0)
+        counts = aspects.aspects_seen()
+        center = spec.cell_of(Vec2(5, 5))
+        assert counts[center] >= 6
+
+    def test_single_camera_single_aspect(self):
+        spec = self.spec()
+        cloud = PointCloud([CloudPoint(1, 7.0, 5.0, 1.0, 3)])
+        model = SfmModel(cloud, [camera_at(1, 3.0, 5.0, 0.0, [1])])
+        aspects = calculate_aspect_coverage(model, Grid2D(spec), 6.0)
+        counts = aspects.aspects_seen()
+        assert counts.max() == 1
+
+    def test_mean_and_fraction_statistics(self):
+        spec = self.spec()
+        model = self.ring_model()
+        aspects = calculate_aspect_coverage(model, Grid2D(spec), 5.0)
+        assert 0.0 < aspects.mean_aspects() <= N_ASPECT_BUCKETS
+        all_cells = aspects.fully_covered_fraction(min_aspects=1)
+        strict = aspects.fully_covered_fraction(min_aspects=6)
+        assert 0.0 <= strict <= all_cells <= 1.0
+
+    def test_empty_model(self):
+        spec = self.spec()
+        aspects = calculate_aspect_coverage(SfmModel.empty(), Grid2D(spec), 5.0)
+        assert aspects.mean_aspects() == 0.0
+        assert aspects.fully_covered_fraction() == 0.0
+
+
+class TestPathRendering:
+    def test_photo_positions_rendered(self, bench):
+        photos = [
+            bench.capture.take_photo(CameraPose.at(3, 3), GALAXY_S7),
+            bench.capture.take_photo(CameraPose.at(10, 5), GALAXY_S7),
+        ]
+        art = render_photo_positions(bench.spec, photos, bench.ground_truth.region_mask)
+        assert art.count("o") >= 1
+        assert "~" in art
+
+    def test_task_positions_symbols(self, bench):
+        art = render_task_positions(
+            bench.spec,
+            [("photo_collection", 5.0, 5.0), ("annotation", 10.0, 10.0)],
+            arrived_positions=[Vec2(6.0, 6.0)],
+            region_mask=bench.ground_truth.region_mask,
+        )
+        assert "T" in art
+        assert "A" in art
+        assert "x" in art
+
+    def test_out_of_grid_points_skipped(self, bench):
+        art = render_task_positions(bench.spec, [("photo_collection", 999.0, 999.0)])
+        assert "T" not in art
+
+    def test_path_statistics(self, bench):
+        photos = [bench.capture.take_photo(CameraPose.at(3, 3), GALAXY_S7)]
+        stats = path_statistics(photos)
+        assert stats["n_photos"] == 1
+        assert stats["bbox"][0] == pytest.approx(3.0)
+        assert path_statistics([])["n_photos"] == 0

@@ -1,0 +1,113 @@
+"""Tests for the blur model and variance-of-Laplacian."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.camera import (
+    convolve2d_same,
+    detection_factor,
+    motion_blur_kernel,
+    render_patch,
+    variance_of_laplacian,
+)
+from repro.errors import CaptureError
+from repro.simkit import RngStream
+
+
+class TestConvolution:
+    def test_identity_kernel(self):
+        image = np.arange(25, dtype=float).reshape(5, 5)
+        kernel = np.zeros((3, 3))
+        kernel[1, 1] = 1.0
+        out = convolve2d_same(image, kernel)
+        assert np.allclose(out, image)
+
+    def test_box_blur_reduces_variance(self):
+        rng = RngStream(0, "conv")
+        image = rng.uniform_array((16, 16))
+        box = np.full((3, 3), 1.0 / 9.0)
+        assert convolve2d_same(image, box).var() < image.var()
+
+    def test_same_shape(self):
+        image = np.ones((7, 9))
+        out = convolve2d_same(image, np.ones((3, 3)))
+        assert out.shape == image.shape
+
+
+class TestVarianceOfLaplacian:
+    def test_flat_image_zero(self):
+        assert variance_of_laplacian(np.ones((8, 8))) == pytest.approx(0.0)
+
+    def test_checkerboard_high(self):
+        image = np.indices((8, 8)).sum(axis=0) % 2
+        assert variance_of_laplacian(image) > 1.0
+
+    def test_rejects_tiny_images(self):
+        with pytest.raises(CaptureError):
+            variance_of_laplacian(np.ones((2, 2)))
+        with pytest.raises(CaptureError):
+            variance_of_laplacian(np.ones(10))
+
+    def test_blur_monotonicity(self):
+        """More motion blur => lower sharpness score (the paper's quality
+        check relies on this)."""
+        rng = RngStream(5, "sharp")
+        scores = []
+        for blur in (0.0, 0.3, 0.6, 0.9):
+            patch = render_patch(blur, rng.child(f"b{blur}"))
+            scores.append(variance_of_laplacian(patch))
+        assert scores == sorted(scores, reverse=True)
+
+
+class TestMotionBlurKernel:
+    def test_no_blur_is_identity(self):
+        kernel = motion_blur_kernel(0.0)
+        assert kernel.shape == (1, 1)
+        assert kernel[0, 0] == 1.0
+
+    def test_full_blur_widest(self):
+        kernel = motion_blur_kernel(1.0, max_width=9)
+        assert kernel.shape == (1, 9)
+        assert kernel.sum() == pytest.approx(1.0)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(CaptureError):
+            motion_blur_kernel(1.5)
+        with pytest.raises(CaptureError):
+            motion_blur_kernel(-0.1)
+
+    @given(st.floats(0.0, 1.0))
+    def test_kernel_normalised(self, blur):
+        assert motion_blur_kernel(blur).sum() == pytest.approx(1.0)
+
+
+class TestDetectionFactor:
+    def test_extremes(self):
+        assert detection_factor(0.0) == 1.0
+        assert detection_factor(1.0) == 0.0
+
+    @given(st.floats(0.0, 0.99), st.floats(0.001, 1.0))
+    def test_monotonic(self, blur, delta):
+        higher = min(1.0, blur + delta)
+        assert detection_factor(higher) <= detection_factor(blur)
+
+    def test_range_check(self):
+        with pytest.raises(CaptureError):
+            detection_factor(2.0)
+
+
+class TestRenderPatch:
+    def test_shape_and_range(self):
+        patch = render_patch(0.2, RngStream(1, "p"), size=24)
+        assert patch.shape == (24, 24)
+        assert patch.min() >= 0.0 and patch.max() <= 1.0
+
+    def test_deterministic(self):
+        a = render_patch(0.2, RngStream(1, "p"))
+        b = render_patch(0.2, RngStream(1, "p"))
+        assert np.array_equal(a, b)
+
+    def test_size_validation(self):
+        with pytest.raises(CaptureError):
+            render_patch(0.2, RngStream(1, "p"), size=2)

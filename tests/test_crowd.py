@@ -1,0 +1,137 @@
+"""Tests for participants, mobility, video extraction and collectors."""
+
+import pytest
+
+from repro.camera import GALAXY_S7, NEXUS_5
+from repro.crowd import (
+    GuidedCampaign,
+    HotspotMobility,
+    Participant,
+    UnguidedCollector,
+    extract_sharpest_frames,
+    frame_specs_for_walk,
+    guided_participants,
+    make_participants,
+)
+from repro.crowd.video import FrameSpec
+from repro.geometry import Vec2
+from repro.simkit import RngStream
+
+
+class TestParticipants:
+    def test_cohort_devices_cycle(self):
+        cohort = make_participants(4, RngStream(1, "p"))
+        assert cohort[0].device is not cohort[1].device
+        assert cohort[0].device is cohort[2].device
+
+    def test_guided_cohort_uses_nexus(self):
+        cohort = guided_participants(2, RngStream(1, "p"))
+        models = {p.device.device_model for p in cohort}
+        assert NEXUS_5.device_model in models
+
+    def test_blur_scaled_by_steadiness(self):
+        steady = Participant("a", GALAXY_S7, steadiness=1.0)
+        shaky = Participant("b", GALAXY_S7, steadiness=0.7)
+        rng = RngStream(2, "blur")
+        base = 0.2
+        avg_steady = sum(steady.blur_for(base, rng.child(f"s{i}")) for i in range(50)) / 50
+        avg_shaky = sum(shaky.blur_for(base, rng.child(f"h{i}")) for i in range(50)) / 50
+        assert avg_shaky > avg_steady
+
+    def test_blur_clamped(self):
+        p = Participant("c", GALAXY_S7, steadiness=0.7)
+        assert 0.0 <= p.blur_for(0.95, RngStream(3, "x")) <= 1.0
+
+
+class TestMobility:
+    def test_itinerary_no_immediate_repeat(self, bench):
+        mobility = bench.make_mobility("test-mob")
+        rng = bench.rng.stream("test-mob-pick")
+        stops = mobility.pick_itinerary(8, rng)
+        for a, b in zip(stops, stops[1:]):
+            assert a.label != b.label
+
+    def test_walk_connects_stops(self, bench):
+        mobility = bench.make_mobility("test-mob-2")
+        trajectory = mobility.walk(
+            bench.venue.entrance, [Vec2(10.5, 3.7), Vec2(18.8, 4.7)], speed_mps=1.2
+        )
+        assert trajectory.length_m > 10
+        assert trajectory.duration_s > 5
+        # End near the last stop.
+        assert trajectory.points[-1].position.distance_to(Vec2(18.8, 4.7)) < 1.0
+
+    def test_trajectory_points_traversable(self, bench):
+        mobility = bench.make_mobility("test-mob-3")
+        trajectory = mobility.walk(bench.venue.entrance, [Vec2(10.5, 6.4)], 1.0)
+        for point in trajectory.points[:: max(1, len(trajectory.points) // 30)]:
+            assert bench.venue.is_traversable(point.position)
+
+
+class TestVideo:
+    def test_frame_specs_sampled_along_walk(self, bench):
+        mobility = bench.make_mobility("test-vid")
+        trajectory = mobility.walk(bench.venue.entrance, [Vec2(10.5, 3.7)], 1.2)
+        participant = make_participants(1, RngStream(4, "v"))[0]
+        specs = frame_specs_for_walk(trajectory, participant, RngStream(4, "f"), fps=5.0)
+        assert len(specs) > 10
+        assert all(0.0 <= s.blur <= 1.0 for s in specs)
+
+    def test_moving_frames_blurrier_than_dwell(self, bench):
+        mobility = bench.make_mobility("test-vid-2")
+        trajectory = mobility.walk(
+            bench.venue.entrance, [Vec2(10.5, 3.7)], 1.3, dwell_s=6.0
+        )
+        participant = Participant("p", GALAXY_S7, steadiness=1.0)
+        specs = frame_specs_for_walk(trajectory, participant, RngStream(5, "f"))
+        moving = [s.blur for s in specs if s.pose is not None and s.blur > 0][:20]
+        # Dwell frames (speed 0) come at the end.
+        tail = [s.blur for s in specs[-10:]]
+        assert sum(tail) / len(tail) < sum(moving) / len(moving)
+
+    def test_sharpest_frame_extraction(self):
+        specs = [
+            FrameSpec(time_s=i, pose=None, blur=0.5, sharpness=float(i % 7))
+            for i in range(21)
+        ]
+        winners = extract_sharpest_frames(specs, window=7)
+        assert len(winners) == 3
+        assert all(w.sharpness == 6.0 for w in winners)
+
+    def test_window_validation(self):
+        with pytest.raises(Exception):
+            extract_sharpest_frames([], window=0)
+
+
+class TestCollectors:
+    def test_unguided_filters_blur(self, bench):
+        collector = bench.make_unguided_collector()
+        cohort = make_participants(2, bench.rng.stream("test-cohort"))
+        dataset = collector.collect(cohort, photos_per_participant=30)
+        assert dataset.n_taken == 60
+        assert 0 < dataset.n_photos <= 60
+        assert dataset.n_filtered_out == 60 - dataset.n_photos
+
+    def test_unguided_photos_inside_venue(self, bench):
+        collector = bench.make_unguided_collector()
+        cohort = make_participants(1, bench.rng.stream("test-cohort-2"))
+        dataset = collector.collect(cohort, photos_per_participant=20)
+        for photo in dataset.photos:
+            assert bench.venue.is_traversable(photo.true_pose.position)
+
+    def test_opportunistic_collects_frames(self, bench):
+        collector = bench.make_opportunistic_collector()
+        cohort = make_participants(3, bench.rng.stream("test-cohort-3"))
+        dataset = collector.collect(cohort, n_videos=3)
+        assert dataset.n_videos == 3
+        assert dataset.n_photos > 10
+        assert dataset.n_raw_frames > dataset.n_photos  # extraction subsamples
+        assert dataset.total_video_s > 10
+
+    def test_guided_bootstrap_photo_counts(self, bench):
+        pipeline = bench.make_pipeline()
+        campaign = bench.make_guided_campaign(pipeline, n_participants=2)
+        photos = campaign.bootstrap_photos()
+        assert len(photos) == 46 + 39  # video frames + geo-calibration
+        sources = {p.source for p in photos}
+        assert sources == {"bootstrap-video", "geo-calibration"}

@@ -1,0 +1,145 @@
+"""Tests for participant selection and incentives (the paper's future work)."""
+
+import pytest
+
+from repro.camera import GALAXY_S7
+from repro.crowd import Participant
+from repro.crowd.selection import (
+    BudgetGreedyPolicy,
+    IncentiveLedger,
+    NearestIdlePolicy,
+    ParticipantSelector,
+    RoundRobinPolicy,
+    replay_task_locations,
+)
+from repro.errors import SimulationError
+from repro.geometry import Vec2
+from repro.simkit import RngStream
+
+
+def cohort(n=3):
+    return [Participant(f"p{i}", GALAXY_S7, steadiness=0.9) for i in range(n)]
+
+
+def selector(policy, positions=None, budget=None, rates=(0.1, 0.1)):
+    people = cohort(len(positions) if positions else 3)
+    positions = positions or [Vec2(0, 0), Vec2(10, 0), Vec2(20, 0)]
+    return ParticipantSelector(
+        people,
+        positions,
+        policy,
+        IncentiveLedger(base_reward=1.0, budget=budget),
+        rng=None,
+        rate_range=rates,
+    )
+
+
+class TestLedger:
+    def test_quote_includes_travel(self):
+        sel = selector(NearestIdlePolicy())
+        state = sel.states[0]
+        quote = sel.ledger.quote(state, Vec2(0, 10))
+        assert quote == pytest.approx(1.0 + 0.1 * 10)
+
+    def test_budget_enforced(self):
+        sel = selector(NearestIdlePolicy(), budget=1.5)
+        assigned = sel.assign(1, Vec2(0, 2))  # quote 1.2 <= 1.5
+        assert assigned is not None
+        sel.release(assigned)
+        second = sel.assign(2, Vec2(0, 4))  # remaining 0.3 < any quote
+        assert second is None
+        report = sel.report()
+        assert report.unassigned == 1
+
+    def test_negative_reward_rejected(self):
+        with pytest.raises(SimulationError):
+            IncentiveLedger(base_reward=-1.0)
+
+
+class TestPolicies:
+    def test_nearest_picks_closest(self):
+        sel = selector(NearestIdlePolicy())
+        state = sel.assign(1, Vec2(19, 0))
+        assert state is not None and state.name == "p2"
+
+    def test_round_robin_cycles(self):
+        sel = selector(RoundRobinPolicy())
+        names = []
+        for i in range(3):
+            state = sel.assign(i, Vec2(5, 5))
+            names.append(state.name)
+            sel.release(state)
+        assert names == ["p0", "p1", "p2"]
+
+    def test_budget_greedy_picks_cheapest(self):
+        people = cohort(2)
+        positions = [Vec2(0, 0), Vec2(6, 0)]
+        ledger = IncentiveLedger(base_reward=1.0)
+        sel = ParticipantSelector(
+            people, positions, BudgetGreedyPolicy(), ledger,
+            rng=RngStream(4, "rates"), rate_range=(0.05, 0.4),
+        )
+        task = Vec2(3, 0)  # equidistant: the cheaper rate wins
+        state = sel.assign(1, task)
+        rates = {s.name: s.rate_per_meter for s in sel.states}
+        assert state.name == min(rates, key=rates.get)
+
+    def test_busy_participants_skipped(self):
+        sel = selector(NearestIdlePolicy())
+        first = sel.assign(1, Vec2(0, 1))
+        second = sel.assign(2, Vec2(0, 1))  # p0 busy -> next closest
+        assert first.name != second.name
+
+    def test_all_busy_returns_none(self):
+        sel = selector(NearestIdlePolicy(), positions=[Vec2(0, 0)])
+        assert sel.assign(1, Vec2(1, 1)) is not None
+        assert sel.assign(2, Vec2(1, 1)) is None
+
+
+class TestReplay:
+    def locations(self):
+        return [Vec2(2, 2), Vec2(18, 1), Vec2(3, 8), Vec2(19, 9), Vec2(10, 5)]
+
+    def test_nearest_beats_round_robin_on_distance(self):
+        people = cohort(3)
+        starts = [Vec2(0, 0), Vec2(10, 5), Vec2(20, 0)]
+        rr = replay_task_locations(self.locations(), people, starts, RoundRobinPolicy())
+        nearest = replay_task_locations(
+            self.locations(), people, starts, NearestIdlePolicy()
+        )
+        assert nearest.total_distance_m < rr.total_distance_m
+        assert nearest.assignments == rr.assignments == 5
+
+    def test_budget_greedy_minimises_payment(self):
+        people = cohort(3)
+        starts = [Vec2(0, 0), Vec2(10, 5), Vec2(20, 0)]
+        rng = RngStream(5, "rates")
+        greedy = replay_task_locations(
+            self.locations(), people, starts, BudgetGreedyPolicy(), rng=rng
+        )
+        rr = replay_task_locations(
+            self.locations(), people, starts, RoundRobinPolicy(),
+            rng=RngStream(5, "rates"),
+        )
+        assert greedy.total_paid <= rr.total_paid + 1e-9
+
+    def test_report_accounting(self):
+        people = cohort(2)
+        starts = [Vec2(0, 0), Vec2(20, 0)]
+        report = replay_task_locations(
+            self.locations(), people, starts, NearestIdlePolicy()
+        )
+        assert sum(report.per_participant_tasks.values()) == report.assignments
+        assert report.mean_distance_m > 0
+
+
+class TestValidation:
+    def test_mismatched_lengths(self):
+        with pytest.raises(SimulationError):
+            ParticipantSelector(
+                cohort(2), [Vec2(0, 0)], NearestIdlePolicy(), IncentiveLedger()
+            )
+
+    def test_empty_cohort(self):
+        with pytest.raises(SimulationError):
+            ParticipantSelector([], [], NearestIdlePolicy(), IncentiveLedger())

@@ -1,0 +1,105 @@
+"""Tests for floor-plan export and the CLI."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.errors import MappingError
+from repro.geometry import BoundingBox
+from repro.mapping import (
+    CoverageMaps,
+    Grid2D,
+    GridSpec,
+    floorplan_to_csv,
+    floorplan_to_json,
+    floorplan_to_pgm,
+    read_pgm,
+    spec_metadata,
+)
+
+
+@pytest.fixture()
+def small_maps():
+    spec = GridSpec.from_bbox(BoundingBox(0, 0, 3, 3), 0.5, 0.0)
+    obstacles, visibility = Grid2D(spec), Grid2D(spec)
+    obstacles.data[1, 1] = 5
+    visibility.data[2:4, 2:4] = 2
+    return CoverageMaps(obstacles, visibility)
+
+
+class TestExport:
+    def test_pgm_roundtrip(self, small_maps, tmp_path):
+        path = floorplan_to_pgm(small_maps, tmp_path / "plan.pgm")
+        image = read_pgm(path)
+        assert image.shape == small_maps.spec.shape
+        # Obstacle pixel is black; note the vertical flip (north up).
+        flipped_row = small_maps.spec.n_rows - 1 - 1
+        assert image[flipped_row, 1] == 0
+        assert (image == 180).sum() == 4  # the 2x2 visible block
+
+    def test_pgm_with_region_mask(self, small_maps, tmp_path):
+        region = np.zeros(small_maps.spec.shape, dtype=bool)
+        region[0:3, 0:3] = True
+        path = floorplan_to_pgm(small_maps, tmp_path / "plan.pgm", region)
+        image = read_pgm(path)
+        assert (image == 220).any()  # outside marker present
+
+    def test_pgm_region_shape_check(self, small_maps, tmp_path):
+        with pytest.raises(MappingError):
+            floorplan_to_pgm(small_maps, tmp_path / "x.pgm", np.zeros((2, 2), bool))
+
+    def test_read_pgm_rejects_other_formats(self, tmp_path):
+        bad = tmp_path / "bad.pgm"
+        bad.write_bytes(b"P2\n1 1\n255\n0\n")
+        with pytest.raises(MappingError):
+            read_pgm(bad)
+
+    def test_csv_export(self, small_maps, tmp_path):
+        path = floorplan_to_csv(small_maps, tmp_path / "plan.csv")
+        matrix = np.loadtxt(path, delimiter=",")
+        assert matrix.shape == small_maps.spec.shape
+        assert matrix.max() == 2
+
+    def test_json_export(self, small_maps, tmp_path):
+        path = floorplan_to_json(small_maps, tmp_path / "plan.json", venue_name="v")
+        document = json.loads(path.read_text())
+        assert document["venue"] == "v"
+        assert document["grid"]["cell_size_m"] == 0.5
+        assert document["covered_cells"] == small_maps.covered_cells()
+        assert len(document["layers"]) == small_maps.spec.n_rows
+
+    def test_spec_metadata(self, small_maps):
+        meta = spec_metadata(small_maps.spec)
+        assert meta["n_rows"] == small_maps.spec.n_rows
+
+
+class TestCli:
+    def test_parser_commands(self):
+        parser = build_parser()
+        for command in ("info", "guided", "compare", "deploy", "export"):
+            args = parser.parse_args([command])
+            assert args.command == command
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_info_runs(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "aalto-library-replica" in out
+        assert "outer bounds" in out
+
+    def test_guided_short_run(self, capsys):
+        assert main(["guided", "--max-tasks", "2", "--map"]) == 0
+        out = capsys.readouterr().out
+        assert "SnapTask:" in out
+        assert "photo" in out
+
+    def test_export_writes_files(self, tmp_path, capsys):
+        out_dir = tmp_path / "plan"
+        assert main(["export", "--max-tasks", "2", "--output", str(out_dir)]) == 0
+        assert (out_dir / "floorplan.pgm").exists()
+        assert (out_dir / "floorplan.json").exists()

@@ -1,0 +1,113 @@
+"""Tests for polygons, bounding boxes and convex hull."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import GeometryError
+from repro.geometry import BoundingBox, Polygon, Vec2, convex_hull
+
+coord = st.floats(-100, 100, allow_nan=False, allow_infinity=False)
+
+
+class TestBoundingBox:
+    def test_inverted_rejected(self):
+        with pytest.raises(GeometryError):
+            BoundingBox(1, 0, 0, 1)
+
+    def test_contains_and_center(self):
+        box = BoundingBox(0, 0, 2, 4)
+        assert box.contains(Vec2(1, 2))
+        assert not box.contains(Vec2(3, 2))
+        assert box.center == Vec2(1, 2)
+        assert box.width == 2 and box.height == 4
+
+    def test_expanded(self):
+        box = BoundingBox(0, 0, 1, 1).expanded(0.5)
+        assert box.min_x == -0.5 and box.max_y == 1.5
+
+    def test_of_points(self):
+        box = BoundingBox.of_points([Vec2(1, 5), Vec2(-2, 3)])
+        assert (box.min_x, box.min_y, box.max_x, box.max_y) == (-2, 3, 1, 5)
+        with pytest.raises(GeometryError):
+            BoundingBox.of_points([])
+
+
+class TestPolygon:
+    def test_needs_three_vertices(self):
+        with pytest.raises(GeometryError):
+            Polygon([Vec2(0, 0), Vec2(1, 1)])
+
+    def test_rectangle_area_perimeter(self):
+        rect = Polygon.rectangle(0, 0, 4, 3)
+        assert rect.area() == pytest.approx(12.0)
+        assert rect.perimeter() == pytest.approx(14.0)
+
+    def test_contains_interior_exterior(self):
+        rect = Polygon.rectangle(0, 0, 2, 2)
+        assert rect.contains(Vec2(1, 1))
+        assert not rect.contains(Vec2(3, 1))
+
+    def test_contains_boundary(self):
+        rect = Polygon.rectangle(0, 0, 2, 2)
+        assert rect.contains(Vec2(0, 1))
+        assert rect.contains(Vec2(2, 2))
+
+    def test_l_shape_containment(self):
+        l_shape = Polygon(
+            [Vec2(0, 0), Vec2(4, 0), Vec2(4, 4), Vec2(2, 4), Vec2(2, 2), Vec2(0, 2)]
+        )
+        assert l_shape.contains(Vec2(1, 1))
+        assert l_shape.contains(Vec2(3, 3))
+        assert not l_shape.contains(Vec2(1, 3))  # the notch
+
+    def test_centroid_rectangle(self):
+        rect = Polygon.rectangle(0, 0, 2, 4)
+        c = rect.centroid()
+        assert c.x == pytest.approx(1.0)
+        assert c.y == pytest.approx(2.0)
+
+    def test_rotated_rectangle(self):
+        import math
+
+        rect = Polygon.rotated_rectangle(Vec2(0, 0), 2.0, 1.0, math.pi / 2)
+        assert rect.area() == pytest.approx(2.0)
+        # After 90-degree rotation, the long axis is vertical.
+        assert rect.bbox.height == pytest.approx(2.0)
+        assert rect.bbox.width == pytest.approx(1.0)
+
+    @given(
+        st.floats(-10, 10),
+        st.floats(-10, 10),
+        st.floats(0.5, 10),
+        st.floats(0.5, 10),
+    )
+    def test_rectangle_contains_own_centroid(self, x, y, w, h):
+        rect = Polygon.rectangle(x, y, x + w, y + h)
+        assert rect.contains(rect.centroid())
+
+    def test_edges_count(self):
+        rect = Polygon.rectangle(0, 0, 1, 1)
+        assert len(rect.edges()) == 4
+
+
+class TestConvexHull:
+    def test_square_with_interior_point(self):
+        pts = [Vec2(0, 0), Vec2(1, 0), Vec2(1, 1), Vec2(0, 1), Vec2(0.5, 0.5)]
+        hull = convex_hull(pts)
+        assert len(hull) == 4
+        assert Vec2(0.5, 0.5) not in hull
+
+    def test_collinear(self):
+        pts = [Vec2(0, 0), Vec2(1, 0), Vec2(2, 0)]
+        hull = convex_hull(pts)
+        assert len(hull) <= 2 or all(p.y == 0 for p in hull)
+
+    @given(st.lists(st.tuples(coord, coord), min_size=3, max_size=40))
+    def test_hull_contains_all_points(self, raw):
+        pts = [Vec2(x, y) for x, y in raw]
+        hull = convex_hull(pts)
+        if len(hull) < 3:
+            return
+        poly = Polygon(hull)
+        for p in pts:
+            assert poly.contains(p) or poly.bbox.expanded(1e-6).contains(p)

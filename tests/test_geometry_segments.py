@@ -1,0 +1,150 @@
+"""Tests for segments, interval merging, and polygon edges."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import GeometryError
+from repro.geometry import (
+    Segment,
+    Vec2,
+    iter_polygon_edges,
+    merge_intervals,
+    polyline_length,
+    total_interval_length,
+)
+
+coord = st.floats(-50, 50, allow_nan=False, allow_infinity=False)
+
+
+class TestSegment:
+    def test_degenerate_rejected(self):
+        with pytest.raises(GeometryError):
+            Segment(Vec2(1, 1), Vec2(1, 1))
+
+    def test_length_direction(self):
+        s = Segment(Vec2(0, 0), Vec2(3, 4))
+        assert s.length == pytest.approx(5.0)
+        d = s.direction
+        assert d.x == pytest.approx(0.6)
+        assert d.y == pytest.approx(0.8)
+
+    def test_midpoint_and_point_at(self):
+        s = Segment(Vec2(0, 0), Vec2(10, 0))
+        assert s.midpoint == Vec2(5, 0)
+        assert s.point_at(0.25) == Vec2(2.5, 0)
+
+    def test_sample_points_cover_both_ends(self):
+        s = Segment(Vec2(0, 0), Vec2(1, 0))
+        points = s.sample_points(0.3)
+        assert points[0] == Vec2(0, 0)
+        assert points[-1] == Vec2(1, 0)
+        gaps = [points[i].distance_to(points[i + 1]) for i in range(len(points) - 1)]
+        assert all(g <= 0.3 + 1e-9 for g in gaps)
+
+    def test_sample_points_bad_spacing(self):
+        with pytest.raises(GeometryError):
+            Segment(Vec2(0, 0), Vec2(1, 0)).sample_points(0.0)
+
+    def test_closest_point_clamps(self):
+        s = Segment(Vec2(0, 0), Vec2(10, 0))
+        assert s.closest_point(Vec2(-5, 3)) == Vec2(0, 0)
+        assert s.closest_point(Vec2(15, 3)) == Vec2(10, 0)
+        assert s.closest_point(Vec2(5, 3)) == Vec2(5, 0)
+
+    def test_distance_to_point(self):
+        s = Segment(Vec2(0, 0), Vec2(10, 0))
+        assert s.distance_to_point(Vec2(5, 2)) == pytest.approx(2.0)
+        assert s.distance_to_point(Vec2(13, 4)) == pytest.approx(5.0)
+
+    def test_intersection_crossing(self):
+        a = Segment(Vec2(0, 0), Vec2(2, 2))
+        b = Segment(Vec2(0, 2), Vec2(2, 0))
+        hit = a.intersect(b)
+        assert hit is not None
+        assert hit.x == pytest.approx(1.0)
+        assert hit.y == pytest.approx(1.0)
+
+    def test_intersection_miss(self):
+        a = Segment(Vec2(0, 0), Vec2(1, 0))
+        b = Segment(Vec2(0, 1), Vec2(1, 1))
+        assert a.intersect(b) is None
+
+    def test_parallel_no_crash(self):
+        a = Segment(Vec2(0, 0), Vec2(1, 0))
+        b = Segment(Vec2(0.5, 0), Vec2(2, 0))
+        assert a.intersect(b) is None  # collinear overlap treated as None
+
+    def test_subsegment(self):
+        s = Segment(Vec2(0, 0), Vec2(10, 0))
+        sub = s.subsegment(0.2, 0.5)
+        assert sub.a == Vec2(2, 0)
+        assert sub.b == Vec2(5, 0)
+        with pytest.raises(GeometryError):
+            s.subsegment(0.5, 0.2)
+
+    @given(coord, coord, coord, coord, st.floats(0.01, 0.99))
+    def test_project_parameter_roundtrip(self, ax, ay, bx, by, t):
+        if math.hypot(bx - ax, by - ay) < 1e-6:
+            return
+        s = Segment(Vec2(ax, ay), Vec2(bx, by))
+        p = s.point_at(t)
+        assert s.project_parameter(p) == pytest.approx(t, abs=1e-6)
+
+
+class TestMergeIntervals:
+    def test_empty(self):
+        assert merge_intervals([], 0.1) == []
+
+    def test_disjoint_kept(self):
+        merged = merge_intervals([(0, 1), (2, 3)], 0.5)
+        assert merged == [(0, 1), (2, 3)]
+
+    def test_small_gap_merged(self):
+        merged = merge_intervals([(0, 1), (1.1, 2)], 0.15)
+        assert merged == [(0, 2)]
+
+    def test_threshold_semantics(self):
+        # The paper: segments merge when the gap is below T = 0.15 m.
+        merged = merge_intervals([(0, 1), (1.15, 2)], 0.15)
+        assert merged == [(0, 2)]
+        merged = merge_intervals([(0, 1), (1.16, 2)], 0.15)
+        assert len(merged) == 2
+
+    def test_unsorted_input(self):
+        merged = merge_intervals([(2, 3), (0, 1.95)], 0.1)
+        assert merged == [(0, 3)]
+
+    @given(
+        st.lists(
+            st.tuples(st.floats(0, 100), st.floats(0, 5)).map(
+                lambda p: (p[0], p[0] + p[1])
+            ),
+            max_size=30,
+        ),
+        st.floats(0.0, 1.0),
+    )
+    def test_merge_preserves_total_length_lower_bound(self, intervals, gap):
+        merged = merge_intervals(intervals, gap)
+        # Merged intervals are sorted and non-overlapping.
+        for (lo1, hi1), (lo2, hi2) in zip(merged, merged[1:]):
+            assert hi1 + gap < lo2 + 1e-12
+        # Total length never decreases below the longest single interval.
+        if intervals:
+            longest = max(hi - lo for lo, hi in intervals)
+            assert total_interval_length(merged) >= longest - 1e-9
+
+
+def test_polyline_length():
+    pts = [Vec2(0, 0), Vec2(3, 0), Vec2(3, 4)]
+    assert polyline_length(pts) == pytest.approx(7.0)
+
+
+def test_iter_polygon_edges_closes():
+    pts = [Vec2(0, 0), Vec2(1, 0), Vec2(1, 1)]
+    edges = list(iter_polygon_edges(pts))
+    assert len(edges) == 3
+    assert edges[-1].b == pts[0]
+    with pytest.raises(GeometryError):
+        list(iter_polygon_edges(pts[:2]))

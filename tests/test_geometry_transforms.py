@@ -1,0 +1,128 @@
+"""Tests for the pin-hole projection and pixel-ray back-projection."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geometry import PinholeProjection, Segment, Vec2, Vec3
+
+
+def make_projection(x=0.0, y=0.0, yaw=0.0, z=1.5):
+    return PinholeProjection(
+        position=Vec3(x, y, z),
+        yaw_rad=yaw,
+        focal_px=3000.0,
+        image_width_px=4000,
+        image_height_px=3000,
+    )
+
+
+class TestProjection:
+    def test_point_on_axis_hits_center(self):
+        proj = make_projection()
+        pixel = proj.project(Vec3(5.0, 0.0, 1.5))
+        assert pixel is not None
+        assert pixel.x == pytest.approx(2000.0)
+        assert pixel.y == pytest.approx(1500.0)
+
+    def test_point_behind_camera(self):
+        proj = make_projection()
+        assert proj.project(Vec3(-5.0, 0.0, 1.5)) is None
+
+    def test_point_above_projects_up(self):
+        proj = make_projection()
+        pixel = proj.project(Vec3(5.0, 0.0, 2.5))
+        assert pixel is not None
+        assert pixel.y < 1500.0  # image v decreases upward
+
+    def test_point_out_of_frame(self):
+        proj = make_projection()
+        # Nearly perpendicular to the optical axis.
+        assert proj.project(Vec3(0.1, 50.0, 1.5)) is None
+
+    def test_project_unclamped_returns_offscreen(self):
+        proj = make_projection()
+        pixel = proj.project_unclamped(Vec3(1.0, 3.0, 1.5))
+        assert pixel is not None
+        assert not (0 <= pixel.x < 4000)
+
+    def test_clamp_pixel(self):
+        proj = make_projection()
+        clamped = proj.clamp_pixel(Vec2(-10, 5000))
+        assert clamped == Vec2(0.0, 2999.0)
+
+    @given(
+        st.floats(1.0, 20.0),
+        st.floats(-1.0, 1.0),
+        st.floats(0.2, 2.6),
+        st.floats(-math.pi, math.pi),
+    )
+    def test_pixel_ray_roundtrip(self, forward, lateral, height, yaw):
+        """Back-projecting a projected point returns a ray through it."""
+        proj = make_projection(yaw=yaw)
+        c, s = math.cos(yaw), math.sin(yaw)
+        # World point from camera-frame offsets.
+        right = Vec2(-s, c)
+        world = Vec3(
+            c * forward + right.x * lateral,
+            s * forward + right.y * lateral,
+            height,
+        )
+        pixel = proj.project_unclamped(world)
+        if pixel is None:
+            return
+        origin, direction = proj.pixel_ray(pixel)
+        # The point must lie on the ray.
+        t = (
+            (world.x - origin.x) * direction.x
+            + (world.y - origin.y) * direction.y
+            + (world.z - origin.z) * direction.z
+        )
+        closest = Vec3(
+            origin.x + direction.x * t,
+            origin.y + direction.y * t,
+            origin.z + direction.z * t,
+        )
+        assert closest.distance_to(world) < 1e-6 * max(1.0, world.norm())
+
+
+class TestWallIntersection:
+    def test_frontal_wall_hit(self):
+        proj = make_projection()
+        wall = Segment(Vec2(5, -3), Vec2(5, 3))
+        hit = proj.intersect_pixel_with_wall(Vec2(2000, 1500), wall)
+        assert hit is not None
+        assert hit.x == pytest.approx(5.0)
+        assert hit.y == pytest.approx(0.0, abs=1e-9)
+        assert hit.z == pytest.approx(1.5)
+
+    def test_upper_pixel_hits_higher(self):
+        proj = make_projection()
+        wall = Segment(Vec2(5, -3), Vec2(5, 3))
+        hit = proj.intersect_pixel_with_wall(Vec2(2000, 600), wall)
+        assert hit is not None
+        assert hit.z > 1.5
+
+    def test_miss_outside_extent(self):
+        proj = make_projection()
+        wall = Segment(Vec2(5, 10), Vec2(5, 13))
+        assert proj.intersect_pixel_with_wall(Vec2(2000, 1500), wall) is None
+
+    def test_extend_frac_tolerates_overshoot(self):
+        proj = make_projection()
+        wall = Segment(Vec2(5, 0.05), Vec2(5, 3))
+        # Central pixel ray passes at y=0, barely outside the wall start.
+        assert proj.intersect_pixel_with_wall(Vec2(2000, 1500), wall) is None
+        hit = proj.intersect_pixel_with_wall(Vec2(2000, 1500), wall, extend_frac=0.1)
+        assert hit is not None
+
+    def test_behind_camera_none(self):
+        proj = make_projection()
+        wall = Segment(Vec2(-5, -3), Vec2(-5, 3))
+        assert proj.intersect_pixel_with_wall(Vec2(2000, 1500), wall) is None
+
+    def test_bearing_to(self):
+        proj = make_projection()
+        pose_bearing = proj.bearing_to(Vec2(1.0, 1.0))
+        assert pose_bearing == pytest.approx(math.pi / 4)

@@ -1,0 +1,113 @@
+"""Unit and property tests for repro.geometry.vec."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import GeometryError
+from repro.geometry import Vec2, Vec3, angle_difference
+
+finite = st.floats(-1e6, 1e6, allow_nan=False, allow_infinity=False)
+small = st.floats(-100.0, 100.0, allow_nan=False, allow_infinity=False)
+
+
+class TestVec2:
+    def test_add_sub(self):
+        a, b = Vec2(1, 2), Vec2(3, -4)
+        assert a + b == Vec2(4, -2)
+        assert a - b == Vec2(-2, 6)
+
+    def test_scalar_ops(self):
+        assert Vec2(1, 2) * 3 == Vec2(3, 6)
+        assert 3 * Vec2(1, 2) == Vec2(3, 6)
+        assert Vec2(3, 6) / 3 == Vec2(1, 2)
+
+    def test_division_by_zero(self):
+        with pytest.raises(GeometryError):
+            Vec2(1, 1) / 0
+
+    def test_dot_and_cross(self):
+        assert Vec2(1, 0).dot(Vec2(0, 1)) == 0
+        assert Vec2(1, 0).cross(Vec2(0, 1)) == 1
+        assert Vec2(0, 1).cross(Vec2(1, 0)) == -1
+
+    def test_norm(self):
+        assert Vec2(3, 4).norm() == pytest.approx(5.0)
+        assert Vec2(3, 4).norm_sq() == pytest.approx(25.0)
+
+    def test_normalized(self):
+        n = Vec2(0, 5).normalized()
+        assert n == Vec2(0, 1)
+        with pytest.raises(GeometryError):
+            Vec2(0, 0).normalized()
+
+    def test_perpendicular_is_ccw(self):
+        p = Vec2(1, 0).perpendicular()
+        assert p == Vec2(0, 1)
+
+    def test_from_angle(self):
+        v = Vec2.from_angle(math.pi / 2, 2.0)
+        assert v.x == pytest.approx(0.0, abs=1e-12)
+        assert v.y == pytest.approx(2.0)
+
+    def test_lerp_endpoints(self):
+        a, b = Vec2(0, 0), Vec2(10, -2)
+        assert a.lerp(b, 0.0) == a
+        assert a.lerp(b, 1.0) == b
+        assert a.lerp(b, 0.5) == Vec2(5, -1)
+
+    @given(small, small, st.floats(-math.pi, math.pi))
+    def test_rotation_preserves_norm(self, x, y, angle):
+        v = Vec2(x, y)
+        assert v.rotated(angle).norm() == pytest.approx(v.norm(), abs=1e-6)
+
+    @given(small, small)
+    def test_perpendicular_is_orthogonal(self, x, y):
+        v = Vec2(x, y)
+        assert abs(v.dot(v.perpendicular())) <= 1e-6 * max(1.0, v.norm_sq())
+
+    @given(small, small, small, small)
+    def test_distance_symmetry(self, ax, ay, bx, by):
+        a, b = Vec2(ax, ay), Vec2(bx, by)
+        assert a.distance_to(b) == pytest.approx(b.distance_to(a))
+
+    def test_iteration_and_tuple(self):
+        assert tuple(Vec2(1, 2)) == (1, 2)
+        assert Vec2(1, 2).as_tuple() == (1, 2)
+
+
+class TestVec3:
+    def test_arith(self):
+        assert Vec3(1, 2, 3) + Vec3(1, 1, 1) == Vec3(2, 3, 4)
+        assert Vec3(1, 2, 3) - Vec3(1, 1, 1) == Vec3(0, 1, 2)
+        assert Vec3(1, 2, 3) * 2 == Vec3(2, 4, 6)
+
+    def test_norm_distance(self):
+        assert Vec3(2, 3, 6).norm() == pytest.approx(7.0)
+        assert Vec3(0, 0, 0).distance_to(Vec3(2, 3, 6)) == pytest.approx(7.0)
+
+    def test_floor_projection(self):
+        assert Vec3(1, 2, 3).floor() == Vec2(1, 2)
+        assert Vec3.from_floor(Vec2(1, 2), 5.0) == Vec3(1, 2, 5)
+
+
+class TestAngleDifference:
+    def test_zero(self):
+        assert angle_difference(1.0, 1.0) == pytest.approx(0.0)
+
+    def test_wraps_across_pi(self):
+        d = angle_difference(math.pi - 0.1, -math.pi + 0.1)
+        assert d == pytest.approx(-0.2, abs=1e-9)
+
+    @given(st.floats(-10, 10), st.floats(-10, 10))
+    def test_result_in_range(self, a, b):
+        d = angle_difference(a, b)
+        assert -math.pi - 1e-9 <= d <= math.pi + 1e-9
+
+    @given(st.floats(-3, 3), st.floats(-3, 3))
+    def test_consistent_with_unit_vectors(self, a, b):
+        d = angle_difference(a, b)
+        expected = Vec2.from_angle(a).cross(Vec2.from_angle(b))
+        # sign of cross(b->a rotation) matches the difference's sign
+        assert math.sin(d) == pytest.approx(-expected, abs=1e-9)

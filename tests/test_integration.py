@@ -1,0 +1,100 @@
+"""Integration tests: short end-to-end runs across subsystems.
+
+These exercise the same paths the benchmark harness uses, but bounded to
+a few tasks so the suite stays fast.
+"""
+
+import pytest
+
+from repro.camera import GALAXY_S7
+from repro.core import TaskKind
+from repro.eval import Workbench, run_guided_experiment
+from repro.geometry import Vec2
+from repro.mapping import render_ascii
+from repro.venue import OfficeSpec, generate_office
+from repro.simkit import RngStream
+
+
+@pytest.fixture(scope="module")
+def short_guided():
+    bench = Workbench.for_library()
+    result = run_guided_experiment(bench, max_tasks=8)
+    return bench, result
+
+
+class TestGuidedShortRun:
+    def test_coverage_grows_from_bootstrap(self, short_guided):
+        _bench, result = short_guided
+        series = result.series
+        assert len(series.samples) >= 3
+        assert series.coverage_percents()[-1] > series.coverage_percents()[0]
+
+    def test_task_locations_inside_site(self, short_guided):
+        bench, result = short_guided
+        for _kind, x, y in result.task_locations:
+            # Tasks stay within the site bbox + small tolerance.
+            assert -1.0 <= x <= 23.0
+            assert -1.0 <= y <= 21.0
+
+    def test_outcome_maps_renderable(self, short_guided):
+        bench, result = short_guided
+        art = render_ascii(result.final_maps, bench.ground_truth.region_mask)
+        assert "#" in art and "." in art
+
+    def test_photo_tasks_capture_45(self, short_guided):
+        _bench, result = short_guided
+        for record in result.run.photo_tasks:
+            assert record.n_photos == 45
+
+    def test_series_bounds_monotone_trend(self, short_guided):
+        _bench, result = short_guided
+        bounds = result.series.bounds_percents()
+        assert bounds[-1] >= bounds[0] - 1.0
+
+
+class TestCrossVenue:
+    """The algorithms must work on venues they were not tuned for."""
+
+    def test_pipeline_on_generated_office(self):
+        office = generate_office(
+            OfficeSpec(width_m=12.0, depth_m=9.0, glass_walls=1, n_furniture=4),
+            RngStream(21, "office-int"),
+        )
+        bench = Workbench(office)
+        pipeline = bench.make_pipeline()
+        outcome = pipeline.process_batch(
+            list(bench.capture.sweep(office.entrance + Vec2(0, 1.0), GALAXY_S7, 8.0, blur=0.0))
+        )
+        assert outcome.photos_added
+        assert outcome.coverage_cells > 100
+        assert len(outcome.new_tasks) <= 1
+
+    def test_guided_campaign_on_office(self):
+        office = generate_office(
+            OfficeSpec(width_m=12.0, depth_m=9.0, glass_walls=1, n_furniture=4),
+            RngStream(22, "office-int-2"),
+        )
+        bench = Workbench(office)
+        pipeline = bench.make_pipeline()
+        campaign = bench.make_guided_campaign(pipeline, n_participants=2)
+        result = campaign.run(max_tasks=6)
+        assert len(result.completed) >= 1
+        # Coverage after the campaign beats the bootstrap alone.
+        assert pipeline.coverage_cells >= result.bootstrap_outcome.coverage_cells
+
+
+class TestDeterminism:
+    def test_guided_run_reproducible(self):
+        a = run_guided_experiment(Workbench.for_library(), max_tasks=4)
+        b = run_guided_experiment(Workbench.for_library(), max_tasks=4)
+        assert a.series.coverage_percents() == b.series.coverage_percents()
+        assert a.task_locations == b.task_locations
+
+    def test_different_seed_differs(self):
+        from repro.config import paper_config
+
+        a = run_guided_experiment(Workbench.for_library(), max_tasks=4)
+        b = run_guided_experiment(
+            Workbench.for_library(paper_config(seed=777)), max_tasks=4
+        )
+        assert a.task_locations != b.task_locations

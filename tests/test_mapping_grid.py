@@ -1,0 +1,131 @@
+"""Tests for GridSpec / Grid2D and the octomap."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import MappingError
+from repro.geometry import BoundingBox, Vec2
+from repro.mapping import Grid2D, GridSpec, OctoMap
+
+
+class TestGridSpec:
+    def spec(self, cell=0.15):
+        return GridSpec.from_bbox(BoundingBox(0, 0, 3, 3), cell, margin_m=0.0)
+
+    def test_from_bbox_shape(self):
+        spec = self.spec(0.5)
+        assert spec.shape == (6, 6)
+
+    def test_cell_of_roundtrip(self):
+        spec = self.spec()
+        cell = spec.cell_of(Vec2(1.0, 2.0))
+        assert cell is not None
+        center = spec.center_of(*cell)
+        assert center.distance_to(Vec2(1.0, 2.0)) <= spec.cell_size_m
+
+    def test_outside_returns_none(self):
+        assert self.spec().cell_of(Vec2(-10, 0)) is None
+
+    def test_cells_of_vectorised(self):
+        spec = self.spec()
+        xy = np.array([[1.0, 2.0], [-10.0, 0.0]])
+        cells = spec.cells_of(xy)
+        assert cells.shape == (2, 2)
+        assert (cells[1] == -1).all()
+        assert tuple(cells[0]) == spec.cell_of(Vec2(1.0, 2.0))
+
+    def test_validation(self):
+        with pytest.raises(MappingError):
+            GridSpec(0, 0, 0.0, 10, 10)
+        with pytest.raises(MappingError):
+            GridSpec(0, 0, 0.1, 0, 10)
+
+    @given(st.floats(0.05, 0.5), st.floats(0.1, 30), st.floats(0.1, 30))
+    def test_grid_covers_bbox(self, cell, w, h):
+        spec = GridSpec.from_bbox(BoundingBox(0, 0, w, h), cell, margin_m=0.0)
+        assert spec.n_cols * cell >= w - 1e-9
+        assert spec.n_rows * cell >= h - 1e-9
+
+
+class TestGrid2D:
+    def test_set_get(self):
+        spec = GridSpec.from_bbox(BoundingBox(0, 0, 3, 3), 0.5, 0.0)
+        grid = Grid2D(spec)
+        grid.set_at(Vec2(1.0, 1.0), 5.0)
+        assert grid.value_at(Vec2(1.0, 1.0)) == 5.0
+        assert grid.nonzero_count() == 1
+        assert grid.covered_area_m2 () == pytest.approx(0.25)
+
+    def test_outside_value_zero(self):
+        spec = GridSpec.from_bbox(BoundingBox(0, 0, 3, 3), 0.5, 0.0)
+        grid = Grid2D(spec)
+        assert grid.value_at(Vec2(-1, -1)) == 0.0
+        with pytest.raises(MappingError):
+            grid.set_at(Vec2(-1, -1), 1.0)
+
+    def test_union_mask_spec_check(self):
+        a = Grid2D(GridSpec(0, 0, 0.5, 4, 4))
+        b = Grid2D(GridSpec(0, 0, 0.25, 4, 4))
+        with pytest.raises(MappingError):
+            a.union_mask(b)
+
+    def test_union_mask(self):
+        spec = GridSpec(0, 0, 0.5, 4, 4)
+        a, b = Grid2D(spec), Grid2D(spec)
+        a.data[0, 0] = 1
+        b.data[1, 1] = 1
+        assert a.union_mask(b).sum() == 2
+
+    def test_copy_is_independent(self):
+        grid = Grid2D(GridSpec(0, 0, 0.5, 4, 4))
+        clone = grid.copy()
+        clone.data[0, 0] = 9
+        assert grid.data[0, 0] == 0
+
+    def test_data_shape_validation(self):
+        spec = GridSpec(0, 0, 0.5, 4, 4)
+        with pytest.raises(MappingError):
+            Grid2D(spec, np.zeros((3, 3)))
+
+
+class TestOctoMap:
+    def test_insert_and_count(self):
+        tree = OctoMap((0, 0, 0), half_extent=8.0, resolution=0.2)
+        assert tree.insert(1.0, 1.0, 1.0)
+        assert tree.insert(1.0, 1.0, 1.0)
+        assert tree.count_at(1.0, 1.0, 1.0) == 2
+        assert tree.count_at(5.0, 5.0, 5.0) == 0
+
+    def test_outside_rejected(self):
+        tree = OctoMap((0, 0, 0), half_extent=1.0, resolution=0.2)
+        assert not tree.insert(5.0, 0.0, 0.0)
+        assert tree.n_points == 0
+
+    def test_leaf_size_bound(self):
+        tree = OctoMap((0, 0, 0), half_extent=8.0, resolution=0.2)
+        assert tree.leaf_size <= 0.2
+
+    def test_leaves_enumeration(self):
+        tree = OctoMap((0, 0, 0), half_extent=4.0, resolution=0.5)
+        tree.insert(1.0, 1.0, 1.0)
+        tree.insert(-1.0, -1.0, -1.0)
+        leaves = list(tree.leaves())
+        assert len(leaves) == 2
+        assert sum(count for *_xyz, count in leaves) == 2
+
+    def test_merge_columns_z_filter(self):
+        tree = OctoMap((0, 0, 0), half_extent=4.0, resolution=0.5)
+        for z in (0.2, 0.7, 1.2, 3.5):
+            tree.insert(1.0, 1.0, z)
+        columns = tree.merge_columns(z_min=0.0, z_max=2.0)
+        assert sum(columns.values()) == 3  # the z=3.5 point is excluded
+
+    def test_for_cloud_encloses_points(self):
+        xyz = np.array([[0, 0, 0], [10, 5, 2], [-3, 8, 1]], dtype=float)
+        tree = OctoMap.for_cloud(xyz, resolution=0.25)
+        assert tree.insert_array(xyz) == 3
+
+    def test_bad_resolution(self):
+        with pytest.raises(MappingError):
+            OctoMap((0, 0, 0), half_extent=1.0, resolution=0.0)

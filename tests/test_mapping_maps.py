@@ -1,0 +1,218 @@
+"""Tests for obstacle/visibility maps, coverage and the bounds metric."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import BoundingBox, Vec2
+from repro.mapping import (
+    CoverageMaps,
+    Grid2D,
+    GridSpec,
+    calculate_obstacles_map,
+    calculate_visibility_map,
+    camera_visible_cells,
+    outer_bounds_report,
+    render_ascii,
+    score_against_ground_truth,
+    wall_covered_length,
+)
+from repro.mapping.visibility import sector_information_ranges
+from repro.sfm import PointCloud, SfmModel
+from repro.sfm.model import RecoveredCamera
+from repro.sfm.pointcloud import CloudPoint
+from repro.camera import GALAXY_S7, CameraPose
+from repro.geometry import Segment
+
+
+def small_spec(cell=0.25, size=10.0):
+    return GridSpec.from_bbox(BoundingBox(0, 0, size, size), cell, margin_m=0.0)
+
+
+def wall_cloud(x=5.0, y0=2.0, y1=8.0, step=0.05, per_column=6):
+    """A dense synthetic 'wall' of points along x=const."""
+    points = []
+    fid = 0
+    ys = np.arange(y0, y1, step)
+    for y in ys:
+        for k in range(per_column):
+            points.append(CloudPoint(fid, x, float(y), 0.3 + 0.4 * k, 3))
+            fid += 1
+    return PointCloud(points)
+
+
+class TestObstaclesMap:
+    def test_wall_becomes_obstacles(self):
+        spec = small_spec()
+        grid = calculate_obstacles_map(wall_cloud(), spec, obstacle_threshold=4)
+        assert grid.nonzero_count() > 10
+        # Obstacle cells hug the x=5 line.
+        rows, cols = np.nonzero(grid.nonzero_mask())
+        xs = spec.origin_x + (cols + 0.5) * spec.cell_size_m
+        assert np.all(np.abs(xs - 5.0) < 0.5)
+
+    def test_threshold_suppresses_sparse_noise(self):
+        spec = small_spec()
+        sparse = PointCloud([CloudPoint(i, 1.0 + i, 1.0, 1.0, 3) for i in range(5)])
+        grid = calculate_obstacles_map(sparse, spec, obstacle_threshold=4)
+        assert grid.nonzero_count() == 0
+
+    def test_z_band_filters_floor_and_ceiling(self):
+        spec = small_spec()
+        floor = PointCloud([CloudPoint(i, 5.0, 5.0, 0.01, 3) for i in range(20)])
+        grid = calculate_obstacles_map(floor, spec, obstacle_threshold=4)
+        assert grid.nonzero_count() == 0
+
+    def test_empty_cloud(self):
+        grid = calculate_obstacles_map(PointCloud.empty(), small_spec(), 4)
+        assert grid.nonzero_count() == 0
+
+
+def make_camera(photo_id, x, y, yaw, observed=None):
+    return RecoveredCamera(
+        photo_id=photo_id,
+        pose=CameraPose.at(x, y, yaw),
+        intrinsics=GALAXY_S7,
+        n_inliers=100,
+        observed_feature_ids=observed,
+    )
+
+
+class TestVisibilityMap:
+    def test_wedge_blocked_by_obstacle(self):
+        spec = small_spec()
+        obstacles = Grid2D(spec)
+        # A wall band at x=5.
+        for row in range(spec.n_rows):
+            obstacles.data[row, spec.cell_of(Vec2(5.0, 0.1))[1]] = 5.0
+        mask = camera_visible_cells(
+            spec, obstacles.nonzero_mask(), 2.0, 5.0, 0.0, 1.2, 6.0
+        )
+        # Cells before the wall visible; cells beyond it are not.
+        before = spec.cell_of(Vec2(4.0, 5.0))
+        beyond = spec.cell_of(Vec2(7.0, 5.0))
+        assert mask[before]
+        assert not mask[beyond]
+
+    def test_ray_range_limits(self):
+        spec = small_spec()
+        empty = np.zeros(spec.shape, dtype=bool)
+        mask = camera_visible_cells(spec, empty, 2.0, 5.0, 0.0, 1.2, 2.0)
+        far = spec.cell_of(Vec2(6.0, 5.0))
+        assert not mask[far]
+
+    def test_counts_accumulate_per_camera(self):
+        spec = small_spec()
+        obstacles = Grid2D(spec)
+        cameras = [make_camera(i, 2.0, 5.0, 0.0) for i in range(3)]
+        model = SfmModel(PointCloud.empty(), cameras)
+        grid = calculate_visibility_map(model, obstacles, 4.0, information_clipping=False)
+        assert grid.data.max() == 3.0
+
+    def test_information_clipping_limits_wedge(self):
+        spec = small_spec()
+        obstacles = Grid2D(spec)
+        # One triangulated point 2 m ahead; camera observed it.
+        cloud = PointCloud([CloudPoint(42, 4.0, 5.0, 1.0, 3)])
+        camera = make_camera(1, 2.0, 5.0, 0.0, observed=np.array([42]))
+        model = SfmModel(cloud, [camera])
+        grid = calculate_visibility_map(model, obstacles, 6.0)
+        near = spec.cell_of(Vec2(3.0, 5.0))
+        far = spec.cell_of(Vec2(7.5, 5.0))  # beyond point + margin
+        assert grid.data[near] > 0
+        assert grid.data[far] == 0
+
+    def test_no_observations_minimal_wedge(self):
+        spec = small_spec()
+        obstacles = Grid2D(spec)
+        camera = make_camera(1, 2.0, 5.0, 0.0, observed=np.zeros(0, dtype=int))
+        model = SfmModel(PointCloud.empty(), [camera])
+        grid = calculate_visibility_map(model, obstacles, 6.0)
+        assert grid.nonzero_count() <= 12  # just the immediate vicinity
+
+    def test_sector_ranges(self):
+        cloud_ids = np.array([1, 2])
+        cloud_xy = np.array([[4.0, 5.0], [2.5, 6.0]])
+        camera = make_camera(1, 2.0, 5.0, 0.0, observed=np.array([1, 2, 99]))
+        ranges = sector_information_ranges(camera, cloud_ids, cloud_xy, 6.0)
+        assert ranges.max() > 2.0
+        assert ranges.min() >= 0.3
+
+
+class TestCoverage:
+    def test_union_and_score(self):
+        spec = small_spec()
+        obstacles, visibility = Grid2D(spec), Grid2D(spec)
+        obstacles.data[0, 0] = 5
+        visibility.data[1, 1] = 2
+        visibility.data[0, 0] = 1
+        maps = CoverageMaps(obstacles, visibility)
+        assert maps.covered_cells() == 2
+
+        region = np.ones(spec.shape, dtype=bool)
+        gt_obstacles = np.zeros(spec.shape, dtype=bool)
+        gt_obstacles[0, 0] = True
+        score = score_against_ground_truth(maps, region, gt_obstacles)
+        assert score.covered_in_region == 2
+        assert score.obstacle_recall == 1.0
+
+    def test_region_mask_excludes_outside(self):
+        spec = small_spec()
+        obstacles, visibility = Grid2D(spec), Grid2D(spec)
+        visibility.data[:, :] = 1.0
+        maps = CoverageMaps(obstacles, visibility)
+        region = np.zeros(spec.shape, dtype=bool)
+        region[0, 0] = True
+        score = score_against_ground_truth(maps, region, np.zeros(spec.shape, bool))
+        assert score.covered_in_region == 1
+        assert score.coverage_percent == 100.0
+
+    def test_mismatched_specs_rejected(self):
+        from repro.errors import MappingError
+
+        a = Grid2D(GridSpec(0, 0, 0.5, 4, 4))
+        b = Grid2D(GridSpec(0, 0, 0.25, 4, 4))
+        with pytest.raises(MappingError):
+            CoverageMaps(a, b)
+
+
+class TestBounds:
+    def test_full_wall_coverage(self):
+        wall = Segment(Vec2(0, 0), Vec2(10, 0))
+        xy = np.array([[x, 0.05] for x in np.arange(0.1, 10.0, 0.1)])
+        length = wall_covered_length(wall, xy, 0.15, 0.3, 0.15)
+        assert length == pytest.approx(10.0, abs=0.2)
+
+    def test_gap_larger_than_threshold_splits(self):
+        wall = Segment(Vec2(0, 0), Vec2(10, 0))
+        xy = np.array([[x, 0.0] for x in list(np.arange(0, 3, 0.1)) + list(np.arange(7, 10, 0.1))])
+        length = wall_covered_length(wall, xy, 0.15, 0.3, 0.15)
+        assert length < 7.0
+
+    def test_far_points_ignored(self):
+        wall = Segment(Vec2(0, 0), Vec2(10, 0))
+        xy = np.array([[5.0, 2.0]])
+        assert wall_covered_length(wall, xy, 0.15, 0.3, 0.15) == 0.0
+
+    def test_outer_bounds_report(self, bench, library):
+        # A synthetic obstacles grid tracing the full south wall.
+        spec = bench.spec
+        grid = Grid2D(spec)
+        for x in np.arange(0.0, 22.0, 0.05):
+            cell = spec.cell_of(Vec2(float(x), 0.0))
+            if cell:
+                grid.data[cell] = 5.0
+        report = outer_bounds_report(library, grid)
+        south = [w for w in report.per_wall if "south" in w[0]]
+        assert all(got == pytest.approx(total, abs=0.3) for _l, got, total in south)
+        assert 0 < report.percent < 100
+
+
+class TestRenderAscii:
+    def test_renders_layers(self):
+        spec = small_spec(0.5)
+        obstacles, visibility = Grid2D(spec), Grid2D(spec)
+        obstacles.data[10, 10] = 5
+        visibility.data[5, 5] = 2
+        art = render_ascii(CoverageMaps(obstacles, visibility))
+        assert "#" in art
+        assert "." in art

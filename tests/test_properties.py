@@ -1,0 +1,181 @@
+"""Cross-module property-based tests on core invariants."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.annotation import dbscan, kmeans, order_corners
+from repro.geometry import (
+    BoundingBox,
+    Polygon,
+    Segment,
+    SegmentSoup,
+    Vec2,
+    merge_intervals,
+    total_interval_length,
+)
+from repro.mapping import Grid2D, GridSpec, OctoMap
+from repro.simkit import RngStream, Simulator
+
+coord = st.floats(-20, 20, allow_nan=False, allow_infinity=False)
+
+
+class TestOcclusionProperties:
+    @settings(deadline=None, max_examples=40)
+    @given(
+        st.lists(
+            st.tuples(coord, coord, coord, coord).filter(
+                lambda q: math.hypot(q[2] - q[0], q[3] - q[1]) > 0.1
+            ),
+            min_size=0,
+            max_size=8,
+        ),
+        st.tuples(coord, coord),
+    )
+    def test_soup_matches_bruteforce(self, quads, target):
+        """Vectorised visibility equals per-segment brute force."""
+        segments = [Segment(Vec2(a, b), Vec2(c, d)) for a, b, c, d in quads]
+        soup = SegmentSoup(segments)
+        origin = Vec2(25.0, 25.0)  # outside the coordinate range
+        targets = np.array([[target[0], target[1]]])
+        fast = bool(soup.visible(origin, targets)[0])
+        ray = Segment(origin, Vec2(*target)) if origin.distance_to(Vec2(*target)) > 1e-9 else None
+        if ray is None:
+            return
+        slow = not any(
+            ray.intersect(seg) is not None
+            and ray.intersect(seg).distance_to(Vec2(*target)) > 1e-3
+            and ray.intersect(seg).distance_to(origin) > 1e-6
+            for seg in segments
+        )
+        assert fast == slow
+
+    @settings(deadline=None, max_examples=30)
+    @given(st.floats(0.5, 10.0), st.floats(-math.pi, math.pi))
+    def test_first_hit_distance_is_true_distance(self, distance, angle):
+        direction = Vec2.from_angle(angle)
+        midpoint = direction * distance
+        perp = direction.perpendicular()
+        wall = Segment(midpoint + perp * 2.0, midpoint - perp * 2.0)
+        soup = SegmentSoup([wall])
+        hit = soup.first_hit(Vec2(0, 0), direction, 20.0)
+        assert hit is not None
+        assert hit[0] == pytest.approx(distance, abs=1e-6)
+
+
+class TestGridProperties:
+    @settings(deadline=None, max_examples=30)
+    @given(
+        st.floats(0.05, 0.5),
+        st.lists(st.tuples(st.floats(0, 10), st.floats(0, 10)), max_size=40),
+    )
+    def test_cells_of_agrees_with_cell_of(self, cell, points):
+        spec = GridSpec.from_bbox(BoundingBox(0, 0, 10, 10), cell, 0.0)
+        xy = np.array(points).reshape(-1, 2) if points else np.zeros((0, 2))
+        batch = spec.cells_of(xy)
+        for (x, y), (row, col) in zip(points, batch):
+            single = spec.cell_of(Vec2(x, y))
+            if single is None:
+                assert row == -1 or col == -1
+            else:
+                assert (row, col) == single
+
+    @settings(deadline=None, max_examples=20)
+    @given(st.lists(st.tuples(st.floats(-5, 5), st.floats(-5, 5), st.floats(-5, 5)), max_size=60))
+    def test_octomap_count_conservation(self, points):
+        tree = OctoMap((0, 0, 0), half_extent=6.0, resolution=0.4)
+        inserted = tree.insert_array(np.array(points).reshape(-1, 3))
+        assert inserted == len(points)
+        assert sum(count for *_c, count in tree.leaves()) == inserted
+
+
+class TestIntervalProperties:
+    @settings(deadline=None, max_examples=50)
+    @given(
+        st.lists(
+            st.tuples(st.floats(0, 50), st.floats(0.01, 5)).map(lambda p: (p[0], p[0] + p[1])),
+            min_size=1,
+            max_size=25,
+        ),
+        st.floats(0.0, 2.0),
+    )
+    def test_merge_idempotent(self, intervals, gap):
+        once = merge_intervals(intervals, gap)
+        twice = merge_intervals(once, gap)
+        assert once == twice
+
+    @settings(deadline=None, max_examples=50)
+    @given(
+        st.lists(
+            st.tuples(st.floats(0, 50), st.floats(0.01, 5)).map(lambda p: (p[0], p[0] + p[1])),
+            min_size=1,
+            max_size=25,
+        ),
+        st.floats(0.0, 2.0),
+    )
+    def test_merge_never_shrinks_total(self, intervals, gap):
+        merged_len = total_interval_length(merge_intervals(intervals, gap))
+        unmerged_upper = total_interval_length(merge_intervals(intervals, 0.0))
+        assert merged_len >= unmerged_upper - 1e-9
+
+
+class TestClusteringProperties:
+    @settings(deadline=None, max_examples=25)
+    @given(st.integers(0, 200), st.floats(0.2, 3.0), st.integers(1, 6))
+    def test_dbscan_labels_well_formed(self, n, eps, min_samples):
+        rng = np.random.default_rng(n)
+        points = rng.uniform(0, 10, size=(n, 2))
+        labels = dbscan(points, eps, min_samples)
+        assert labels.shape == (n,)
+        if n:
+            # Labels are contiguous from 0 (ignoring noise).
+            positive = sorted(set(labels[labels >= 0]))
+            assert positive == list(range(len(positive)))
+
+    @settings(deadline=None, max_examples=25)
+    @given(st.integers(4, 80), st.integers(1, 4))
+    def test_kmeans_partitions_everything(self, n, k):
+        rng = np.random.default_rng(n * 7 + k)
+        points = rng.uniform(0, 100, size=(n, 2))
+        result = kmeans(points, k, RngStream(n, "prop-km"))
+        assert result.labels.shape == (n,)
+        assert set(result.labels) <= set(range(k))
+
+    @settings(deadline=None, max_examples=40)
+    @given(st.lists(st.tuples(st.floats(0, 1000), st.floats(0, 1000)), min_size=4, max_size=4))
+    def test_order_corners_is_permutation(self, corners):
+        arr = np.array(corners)
+        ordered = order_corners(arr)
+        # Same multiset of points.
+        assert sorted(map(tuple, ordered.tolist())) == sorted(map(tuple, arr.tolist()))
+
+
+class TestSimulatorProperties:
+    @settings(deadline=None, max_examples=30)
+    @given(st.lists(st.floats(0.0, 100.0), min_size=1, max_size=30))
+    def test_events_execute_in_time_order(self, delays):
+        sim = Simulator()
+        fired = []
+        for delay in delays:
+            sim.schedule(delay, lambda d=delay: fired.append(sim.now))
+        sim.run()
+        assert fired == sorted(fired)
+        assert len(fired) == len(delays)
+
+
+class TestRngProperties:
+    @settings(deadline=None, max_examples=30)
+    @given(st.integers(0, 2**31), st.text(min_size=1, max_size=12))
+    def test_streams_reproducible(self, seed, name):
+        a = RngStream(seed, name)
+        b = RngStream(seed, name)
+        assert [a.uniform() for _ in range(3)] == [b.uniform() for _ in range(3)]
+
+    @settings(deadline=None, max_examples=30)
+    @given(st.floats(0.0, 1.0))
+    def test_sample_mask_rate(self, probability):
+        rng = RngStream(1, "mask-prop")
+        mask = rng.sample_mask(4000, probability)
+        assert abs(mask.mean() - probability) < 0.06

@@ -1,0 +1,142 @@
+"""Tests for the feature match index and point cloud / filters."""
+
+import numpy as np
+import pytest
+
+from repro.camera import GALAXY_S7, CameraPose
+from repro.sfm import MatchIndex, PointCloud, match_count, sor_filter, sor_mask
+from repro.sfm.pointcloud import CloudPoint
+
+
+def take(bench, x, y, yaw=0.0):
+    return bench.capture.take_photo(CameraPose.at(x, y, yaw), GALAXY_S7, blur=0.0)
+
+
+class TestMatchIndex:
+    def test_match_count_same_pose_high(self, bench):
+        a = take(bench, 10.0, 1.7, -1.57)
+        b = take(bench, 10.05, 1.7, -1.57)
+        assert match_count(a, b) > 30
+
+    def test_match_count_opposite_views_low(self, bench):
+        a = take(bench, 10.0, 1.7, -1.57)
+        b = take(bench, 10.0, 1.7, 1.57)
+        assert match_count(a, b) < 10
+
+    def test_index_add_remove(self, bench):
+        index = MatchIndex()
+        a = take(bench, 10.0, 1.7, -1.57)
+        index.add(a)
+        assert a.photo_id in index
+        assert len(index) == 1
+        index.remove(a.photo_id)
+        assert a.photo_id not in index
+        assert len(index) == 0
+
+    def test_duplicate_add_is_noop(self, bench):
+        index = MatchIndex()
+        a = take(bench, 10.0, 1.7, -1.57)
+        index.add(a)
+        index.add(a)
+        assert len(index) == 1
+
+    def test_pair_match_counts(self, bench):
+        index = MatchIndex()
+        a = take(bench, 10.0, 1.7, -1.57)
+        b = take(bench, 10.05, 1.7, -1.57)
+        index.add(a)
+        index.add(b)
+        counts = index.pair_match_counts(a)
+        assert counts.get(b.photo_id, 0) == match_count(a, b)
+
+    def test_best_seed_pair(self, bench):
+        index = MatchIndex()
+        a = take(bench, 10.0, 1.7, -1.57)
+        b = take(bench, 10.05, 1.7, -1.57)
+        c = take(bench, 18.8, 4.7, 1.57)  # unrelated view
+        for p in (a, b, c):
+            index.add(p)
+        seed = index.best_seed_pair(min_matches=20)
+        assert seed is not None
+        assert {seed[0], seed[1]} == {a.photo_id, b.photo_id}
+
+    def test_best_seed_pair_none_when_sparse(self, bench):
+        index = MatchIndex()
+        index.add(take(bench, 10.0, 1.7, -1.57))
+        index.add(take(bench, 18.8, 4.7, 1.57))
+        assert index.best_seed_pair(min_matches=30) is None
+
+    def test_known_overlap(self, bench):
+        index = MatchIndex()
+        a = take(bench, 10.0, 1.7, -1.57)
+        index.add(a)
+        known = set(int(f) for f in a.feature_ids[:10])
+        assert index.known_feature_overlap(a, known) == len(known)
+
+
+def make_cloud(points):
+    return PointCloud(
+        [CloudPoint(feature_id=i, x=x, y=y, z=z, n_views=3) for i, (x, y, z) in enumerate(points)]
+    )
+
+
+class TestPointCloud:
+    def test_masks(self):
+        cloud = PointCloud(
+            [
+                CloudPoint(1, 0, 0, 0, 3),
+                CloudPoint(10_000_005, 1, 1, 1, 3),
+                CloudPoint(20_000_001, 2, 2, 2, 3),
+            ]
+        )
+        assert cloud.artificial_mask.tolist() == [False, True, False]
+        assert cloud.reflection_mask.tolist() == [False, False, True]
+        assert len(cloud.without_reflections()) == 2
+
+    def test_subset_and_merge(self):
+        cloud = make_cloud([(0, 0, 0), (1, 1, 1), (2, 2, 2)])
+        sub = cloud.subset(np.array([True, False, True]))
+        assert len(sub) == 2
+        merged = sub.merged_with(cloud)
+        assert len(merged) == 3
+
+    def test_bbox(self):
+        cloud = make_cloud([(0, 0, 0), (2, 4, 1)])
+        assert cloud.bounding_box_2d() == (0, 0, 2, 4)
+        assert PointCloud.empty().bounding_box_2d() is None
+
+    def test_subset_bad_mask(self):
+        from repro.errors import ReconstructionError
+
+        with pytest.raises(ReconstructionError):
+            make_cloud([(0, 0, 0)]).subset(np.array([True, False]))
+
+
+class TestSorFilter:
+    def test_outlier_removed(self):
+        rng = np.random.default_rng(0)
+        inliers = rng.normal(0.0, 0.2, size=(200, 3))
+        outlier = np.array([[50.0, 50.0, 50.0]])
+        xyz = np.vstack([inliers, outlier])
+        mask = sor_mask(xyz, n_neighbors=8, std_ratio=2.0)
+        assert not mask[-1]
+        assert mask[:-1].mean() > 0.9
+
+    def test_small_cloud_untouched(self):
+        xyz = np.zeros((3, 3))
+        assert sor_mask(xyz).all()
+
+    def test_filter_preserves_type(self):
+        cloud = make_cloud([(0, 0, 0)] * 30 + [(99, 99, 99)])
+        filtered = sor_filter(cloud)
+        assert isinstance(filtered, PointCloud)
+        assert len(filtered) < len(cloud)
+
+    def test_empty_cloud(self):
+        assert len(sor_filter(PointCloud.empty())) == 0
+
+    def test_bad_shape(self):
+        from repro.errors import ReconstructionError
+
+        with pytest.raises(ReconstructionError):
+            sor_mask(np.zeros((5, 2)))
