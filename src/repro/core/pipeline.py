@@ -33,10 +33,9 @@ from ..errors import TaskGenerationError
 from ..geometry import Vec2, Vec3
 from ..mapping import (
     CoverageMaps,
-    Grid2D,
     GridSpec,
-    calculate_obstacles_map,
-    calculate_visibility_map,
+    IncrementalMapEngine,
+    MapUpdate,
 )
 from ..sfm import IncrementalSfm, RegistrationReport, SfmModel, sor_filter
 from ..simkit.rng import RngStream
@@ -63,6 +62,7 @@ class BatchOutcome:
     new_tasks: Tuple[Task, ...]
     unvisited_areas: Tuple[UnvisitedArea, ...]
     venue_covered: bool
+    map_update: Optional[MapUpdate] = None
 
     @property
     def coverage_increased(self) -> bool:
@@ -80,6 +80,7 @@ class SnapTaskPipeline:
         initial_position: Vec2,
         rng: RngStream,
         site_mask=None,
+        full_rebuild: bool = False,
     ):
         self._world = world
         self._config = config
@@ -87,6 +88,17 @@ class SnapTaskPipeline:
         self._initial_position = initial_position
         self._site_mask = site_mask
         self._sfm = IncrementalSfm(world, config.sfm, rng.child("sfm"))
+        # Incremental map maintenance (DESIGN.md §5): obstacles, visibility
+        # and coverage are updated by delta instead of rebuilt per batch.
+        # ``full_rebuild=True`` is the escape hatch that forces from-scratch
+        # recomputation through the same engine on every batch.
+        self._full_rebuild = full_rebuild
+        self._map_engine = IncrementalMapEngine(
+            spec,
+            obstacle_threshold=config.tasks.obstacle_threshold,
+            max_range_m=config.sfm.visibility_range_m,
+            site_mask=site_mask,
+        )
         self._factory = TaskFactory()
         self._iteration = 0
         self._coverage_cells = 0
@@ -134,6 +146,15 @@ class SnapTaskPipeline:
     def sfm(self) -> IncrementalSfm:
         return self._sfm
 
+    @property
+    def map_engine(self) -> IncrementalMapEngine:
+        return self._map_engine
+
+    @property
+    def full_rebuild(self) -> bool:
+        """True when the from-scratch escape hatch is active."""
+        return self._full_rebuild
+
     def model(self) -> SfmModel:
         return self._sfm.model()
 
@@ -160,14 +181,19 @@ class SnapTaskPipeline:
             self._config.sfm.sor_neighbors,
             self._config.sfm.sor_std_ratio,
         )
-        obstacles = calculate_obstacles_map(  # line 3
-            filtered_cloud, self._spec, self._config.tasks.obstacle_threshold
+        # Lines 3-5 via the incremental engine: the SfM deltas (new points
+        # + new cameras, see ``report``) plus SOR churn dirty only a small
+        # region of the maps; everything else is reused from the previous
+        # iteration. Cell-exactness vs calculate_obstacles_map /
+        # calculate_visibility_map is enforced by the differential oracle
+        # in tests/test_incremental_equivalence.py.
+        map_update = self._map_engine.update(
+            model, filtered_cloud, full_rebuild=self._full_rebuild
         )
-        visibility = calculate_visibility_map(  # line 4
-            model, obstacles, self._config.sfm.visibility_range_m
-        )
-        maps = CoverageMaps(obstacles, visibility)
-        coverage = self._covered_cells(maps)  # line 5
+        obstacles = map_update.maps.obstacles  # line 3
+        visibility = map_update.maps.visibility  # line 4
+        maps = map_update.maps
+        coverage = map_update.covered_cells  # line 5
 
         photos_added = report.any_registered
         quality: Optional[QualityReport] = None
@@ -270,6 +296,7 @@ class SnapTaskPipeline:
             new_tasks=tuple(tasks),
             unvisited_areas=areas,
             venue_covered=self._venue_covered,
+            map_update=map_update,
         )
         self._history.append(outcome)
         return outcome
@@ -306,13 +333,6 @@ class SnapTaskPipeline:
         )
         for cell in region:
             self._written_off[cell] = True
-
-    def _covered_cells(self, maps: CoverageMaps) -> int:
-        """Scalar coverage; restricted to the site outline when known."""
-        covered = maps.covered_mask()
-        if self._site_mask is not None:
-            covered = covered & self._site_mask
-        return int(covered.sum())
 
     def attempts_at(self, location: Vec2) -> int:
         """triedAtLocation(L) — failed good-quality attempts near L."""

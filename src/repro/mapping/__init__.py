@@ -12,6 +12,7 @@ from .export import (
 from .coverage import CoverageMaps, CoverageScore, score_against_ground_truth
 from .floorplan import diff_layers, export_layers, render_ascii
 from .grid import Grid2D, GridSpec
+from .incremental import IncrementalMapEngine, MapUpdate
 from .obstacles import calculate_obstacles_map
 from .octomap import OctoMap
 from .visibility import calculate_visibility_map, camera_visible_cells
@@ -24,6 +25,8 @@ __all__ = [
     "CoverageScore",
     "Grid2D",
     "GridSpec",
+    "IncrementalMapEngine",
+    "MapUpdate",
     "OctoMap",
     "calculate_obstacles_map",
     "calculate_visibility_map",

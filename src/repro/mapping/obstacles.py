@@ -22,7 +22,11 @@ from .octomap import OctoMap
 
 #: Vertical band of points contributing to obstacles. Points close to the
 #: floor are mostly floor returns / noise; ceilings are above phone height.
-DEFAULT_Z_MIN = 0.05
+#: The band is applied to *leaf centres* of the spec-anchored octree, whose
+#: z lattice starts at 0: the bottom slab [0, cell) has its centre at
+#: cell/2, so ``DEFAULT_Z_MIN`` is chosen above cell/2 for the map cell
+#: sizes in use (0.10-0.30 m) — the floor slab is always excluded.
+DEFAULT_Z_MIN = 0.15
 DEFAULT_Z_MAX = 2.6
 
 
@@ -35,14 +39,19 @@ def calculate_obstacles_map(
 ) -> Grid2D:
     """Build the obstacles map of ``cloud`` on grid ``spec``.
 
-    The OctoMap leaf resolution matches the map cell size, so one merged
-    column corresponds to one map cell (up to lattice alignment).
+    The OctoMap lattice is anchored to ``spec`` (see
+    :meth:`OctoMap.for_spec`): the leaf size equals the cell size and leaf
+    boundaries align with cell boundaries, so one merged column corresponds
+    to exactly one map cell. A fixed lattice is what allows
+    :class:`~repro.mapping.incremental.IncrementalMapEngine` to maintain
+    this map by delta insertion while staying cell-exact with this
+    from-scratch implementation.
     """
     grid = Grid2D(spec)
     if len(cloud) == 0:
         return grid
 
-    octomap = OctoMap.for_cloud(cloud.xyz, resolution=spec.cell_size_m)
+    octomap = OctoMap.for_spec(spec)
     octomap.insert_array(cloud.xyz)
     counts = np.zeros(spec.shape, dtype=float)
     for cx, cy, cz, count in octomap.leaves():

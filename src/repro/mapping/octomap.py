@@ -68,9 +68,22 @@ class OctoMap:
 
     def insert(self, x: float, y: float, z: float) -> bool:
         """Insert one point; returns False if outside the octree bounds."""
+        return self.insert_point(x, y, z) is not None
+
+    def insert_point(
+        self, x: float, y: float, z: float
+    ) -> Optional[Tuple[float, float, float]]:
+        """Insert one point, returning the centre of the leaf it landed in.
+
+        Returns ``None`` (and inserts nothing) when the point is outside
+        the octree bounds. The returned leaf centre is the authoritative
+        lattice position — incremental callers use it to decide which
+        merged column the point dirties, so point-on-boundary assignment
+        always agrees with the octree's own descent rule.
+        """
         node = self._root
         if not self._inside(node, x, y, z):
-            return False
+            return None
         while node.depth < self._max_depth:
             if node.children is None:
                 node.children = [None] * 8
@@ -83,7 +96,36 @@ class OctoMap:
             node = child
         node.count += 1
         self._n_points += 1
-        return True
+        return (node.cx, node.cy, node.cz)
+
+    def remove_point(
+        self, x: float, y: float, z: float
+    ) -> Optional[Tuple[float, float, float]]:
+        """Remove one previously-inserted point (delta maintenance).
+
+        Returns the centre of the leaf the point was removed from, or
+        ``None`` when the point lies outside the bounds. Removing from an
+        empty leaf is a caller bug (the incremental engine only removes
+        points it inserted) and raises :class:`MappingError`.
+        """
+        node = self._root
+        if not self._inside(node, x, y, z):
+            return None
+        path: List[_Node] = [node]
+        while node.depth < self._max_depth:
+            if node.children is None:
+                raise MappingError("remove_point: point was never inserted")
+            child = node.children[self._octant(node, x, y, z)]
+            if child is None:
+                raise MappingError("remove_point: point was never inserted")
+            node = child
+            path.append(node)
+        if node.count <= 0:
+            raise MappingError("remove_point: leaf already empty")
+        for visited in path:
+            visited.count -= 1
+        self._n_points -= 1
+        return (node.cx, node.cy, node.cz)
 
     def insert_array(self, xyz: np.ndarray) -> int:
         """Insert (N, 3) points; returns how many fell inside the bounds."""
@@ -140,9 +182,64 @@ class OctoMap:
             columns[key] = columns.get(key, 0) + count
         return columns
 
+    def column_count(
+        self,
+        x_lo: float,
+        x_hi: float,
+        y_lo: float,
+        y_hi: float,
+        z_min: float = -math.inf,
+        z_max: float = math.inf,
+    ) -> int:
+        """Re-merge one vertical column (Algorithm 2 line 3, locally).
+
+        Sum of occupied max-depth leaf counts whose centres satisfy
+        ``x_lo <= cx < x_hi``, ``y_lo <= cy < y_hi`` and
+        ``z_min <= cz <= z_max`` — the same half-open x/y and closed z
+        semantics the full merge uses. The traversal prunes subtrees that
+        cannot intersect the column, so re-merging one dirtied cell costs
+        O(depth + leaves in that column) instead of O(all leaves).
+        """
+        total = 0
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.count == 0:
+                continue
+            # Prune: node's x/y extent entirely outside the column.
+            if (
+                node.cx + node.half <= x_lo
+                or node.cx - node.half >= x_hi
+                or node.cy + node.half <= y_lo
+                or node.cy - node.half >= y_hi
+            ):
+                continue
+            if node.is_leaf:
+                if (
+                    node.depth == self._max_depth
+                    and x_lo <= node.cx < x_hi
+                    and y_lo <= node.cy < y_hi
+                    and z_min <= node.cz <= z_max
+                ):
+                    total += node.count
+                continue
+            for child in node.children:  # type: ignore[union-attr]
+                if child is not None:
+                    stack.append(child)
+        return total
+
     @property
     def leaf_size(self) -> float:
         return (2.0 * self._root.half) / (2 ** self._max_depth)
+
+    @property
+    def min_corner(self) -> Tuple[float, float, float]:
+        """Minimum (x, y, z) corner of the octree cube."""
+        return (
+            self._root.cx - self._root.half,
+            self._root.cy - self._root.half,
+            self._root.cz - self._root.half,
+        )
 
     # -- internals -------------------------------------------------------------
 
@@ -183,3 +280,40 @@ class OctoMap:
         center = (lo + hi) / 2.0
         half = float(max(hi - lo) / 2.0)
         return OctoMap((center[0], center[1], center[2]), max(half, resolution), resolution)
+
+    @staticmethod
+    def for_spec(
+        spec,
+        z_floor_m: float = -4.0,
+        padding_m: float = 2.0,
+    ) -> "OctoMap":
+        """Octree whose leaf lattice is anchored to a :class:`GridSpec`.
+
+        Unlike :meth:`for_cloud` — whose lattice drifts as the cloud's
+        bounding box grows — this octree is a *fixed* function of the grid
+        spec: leaf size equals the cell size exactly (the cube side is
+        ``cell * 2**depth``), and the cube's minimum corner sits an integer
+        number of cells below the spec origin. Every leaf column therefore
+        corresponds to exactly one map cell for the lifetime of the map,
+        which is what makes delta insertion and from-scratch rebuilds
+        cell-exact against each other.
+
+        ``z_floor_m`` anchors the bottom of the cube (points below it are
+        out of bounds); the cube always spans at least the grid's x/y
+        extent plus ``padding_m`` on each side.
+        """
+        cell = float(spec.cell_size_m)
+        pad_cells = int(math.ceil(padding_m / cell))
+        width_cells = spec.n_cols + 2 * pad_cells
+        height_cells = spec.n_rows + 2 * pad_cells
+        floor_cells = int(math.ceil(max(0.0, -z_floor_m) / cell))
+        # The cube must cover the padded grid in x/y and reach down to the
+        # z floor; side = cell * 2**depth keeps the leaf size exact.
+        need = max(width_cells, height_cells, floor_cells + 1)
+        depth = max(0, int(math.ceil(math.log2(need))))
+        side_cells = 2 ** depth
+        half = cell * side_cells / 2.0
+        cx = (spec.origin_x - pad_cells * cell) + half
+        cy = (spec.origin_y - pad_cells * cell) + half
+        cz = (-floor_cells * cell) + half
+        return OctoMap((cx, cy, cz), half, cell)

@@ -43,7 +43,13 @@ from .pointcloud import CloudPoint, PointCloud
 
 @dataclass(frozen=True)
 class RegistrationReport:
-    """Outcome of one ``add_photos`` call."""
+    """Outcome of one ``add_photos`` call.
+
+    ``new_point_ids`` / ``new_camera_ids`` are the *deltas* of this call —
+    what the incremental map-maintenance engine consumes instead of
+    re-deriving the whole model state (see DESIGN.md §5, "incremental map
+    maintenance").
+    """
 
     batch_size: int
     newly_registered: int
@@ -51,6 +57,8 @@ class RegistrationReport:
     new_points: int
     total_points: int
     total_cameras: int
+    new_point_ids: Tuple[int, ...] = ()
+    new_camera_ids: Tuple[int, ...] = ()
 
     @property
     def any_registered(self) -> bool:
@@ -149,16 +157,24 @@ class IncrementalSfm:
             self._photos[photo.photo_id] = photo
             self._pending.add(photo)
 
-        points_before = len(self._points)
+        points_before = set(self._points)
+        cameras_before = set(self._registered)
         newly_registered = self._run_registration()
-        new_points = len(self._points) - points_before
+        new_point_ids = tuple(
+            sorted(fid for fid in self._points if fid not in points_before)
+        )
+        new_camera_ids = tuple(
+            sorted(pid for pid in self._registered if pid not in cameras_before)
+        )
         return RegistrationReport(
             batch_size=len(batch),
             newly_registered=newly_registered,
             still_pending=len(self._pending),
-            new_points=new_points,
+            new_points=len(new_point_ids),
             total_points=len(self._points),
             total_cameras=len(self._registered),
+            new_point_ids=new_point_ids,
+            new_camera_ids=new_camera_ids,
         )
 
     def model(self) -> SfmModel:

@@ -1,0 +1,223 @@
+"""Property-based OctoMap tests against a brute-force voxel reference.
+
+The incremental engine trusts the octree for delta insertion, removal and
+per-column re-merges, so the octree's lattice arithmetic is checked here
+against an independent floor-index reference over seeded-random clouds.
+The test octree (centre 0, half-extent 8, resolution 0.25) is chosen so
+every node centre is exactly representable in binary floating point: the
+octree's midpoint-descent partition and the reference's floor arithmetic
+then agree *exactly*, including for points sitting on cell edges.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import MappingError
+from repro.geometry import BoundingBox
+from repro.mapping import GridSpec, OctoMap
+
+HALF = 8.0
+RES = 0.25
+LEAF = 0.25  # == RES exactly for this configuration (2*8 / 2**6)
+
+
+def make_tree() -> OctoMap:
+    return OctoMap((0.0, 0.0, 0.0), half_extent=HALF, resolution=RES)
+
+
+def brute_index(v: float) -> int:
+    """Reference voxel index along one axis (min corner at -HALF)."""
+    return int(math.floor((v + HALF) / LEAF))
+
+
+def random_cloud(seed: int, n: int) -> np.ndarray:
+    """Seeded in-extent points, kept away from the ±HALF faces."""
+    rng = np.random.default_rng(seed)
+    return rng.uniform(-HALF + 1e-6, HALF - 1e-6, size=(n, 3))
+
+
+def brute_leaves(xyz: np.ndarray) -> dict:
+    counts: dict = defaultdict(int)
+    for x, y, z in xyz:
+        counts[(brute_index(x), brute_index(y), brute_index(z))] += 1
+    return dict(counts)
+
+
+def octree_leaves(tree: OctoMap) -> dict:
+    counts: dict = {}
+    for cx, cy, cz, count in tree.leaves():
+        key = (
+            int(math.floor((cx + HALF) / LEAF)),
+            int(math.floor((cy + HALF) / LEAF)),
+            int(math.floor((cz + HALF) / LEAF)),
+        )
+        assert key not in counts, "octree yielded the same leaf twice"
+        counts[key] = count
+    return counts
+
+
+class TestInsertAgainstBruteForce:
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 2**32 - 1), n=st.integers(1, 400))
+    def test_leaf_counts_match_reference(self, seed, n):
+        xyz = random_cloud(seed, n)
+        tree = make_tree()
+        assert tree.insert_array(xyz) == n
+        assert tree.n_points == n
+        assert octree_leaves(tree) == brute_leaves(xyz)
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 2**32 - 1), n=st.integers(1, 200))
+    def test_count_at_matches_reference(self, seed, n):
+        xyz = random_cloud(seed, n)
+        tree = make_tree()
+        tree.insert_array(xyz)
+        ref = brute_leaves(xyz)
+        for x, y, z in xyz[:20]:
+            key = (brute_index(x), brute_index(y), brute_index(z))
+            assert tree.count_at(x, y, z) == ref[key]
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 2**32 - 1), n=st.integers(1, 300))
+    def test_merge_columns_matches_reference(self, seed, n):
+        z_min, z_max = -1.0, 2.5
+        xyz = random_cloud(seed, n)
+        tree = make_tree()
+        tree.insert_array(xyz)
+
+        ref: dict = defaultdict(int)
+        for x, y, z in xyz:
+            cz = -HALF + (brute_index(z) + 0.5) * LEAF  # leaf centre
+            if z_min <= cz <= z_max:
+                ref[(brute_index(x) - int(HALF / LEAF), brute_index(y) - int(HALF / LEAF))] += 1
+        assert tree.merge_columns(z_min, z_max) == dict(ref)
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 2**32 - 1), n=st.integers(1, 300))
+    def test_column_count_matches_reference(self, seed, n):
+        """The dirty-column re-merge query == brute per-column counts."""
+        z_min, z_max = -0.5, 3.0
+        xyz = random_cloud(seed, n)
+        tree = make_tree()
+        tree.insert_array(xyz)
+        ref: dict = defaultdict(int)
+        for x, y, z in xyz:
+            cz = -HALF + (brute_index(z) + 0.5) * LEAF
+            if z_min <= cz <= z_max:
+                ref[(brute_index(x), brute_index(y))] += 1
+        for (ix, iy), expected in list(ref.items())[:30]:
+            x_lo = -HALF + ix * LEAF
+            y_lo = -HALF + iy * LEAF
+            got = tree.column_count(x_lo, x_lo + LEAF, y_lo, y_lo + LEAF, z_min, z_max)
+            assert got == expected
+        # An empty column reports zero.
+        assert tree.column_count(100.0, 100.25, 0.0, 0.25) == 0
+
+
+class TestRemoveIsInsertInverse:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(0, 2**32 - 1),
+        n=st.integers(2, 200),
+        k=st.integers(1, 100),
+    )
+    def test_remove_subset_equals_rebuild_of_remainder(self, seed, n, k):
+        k = min(k, n - 1)
+        xyz = random_cloud(seed, n)
+        tree = make_tree()
+        tree.insert_array(xyz)
+        for x, y, z in xyz[:k]:
+            assert tree.remove_point(x, y, z) is not None
+        rebuilt = make_tree()
+        rebuilt.insert_array(xyz[k:])
+        assert tree.n_points == n - k
+        assert octree_leaves(tree) == octree_leaves(rebuilt)
+        assert tree.merge_columns() == rebuilt.merge_columns()
+
+    def test_remove_never_inserted_raises(self):
+        tree = make_tree()
+        tree.insert(1.0, 1.0, 1.0)
+        with pytest.raises(MappingError):
+            tree.remove_point(-3.0, -3.0, -3.0)
+
+    def test_remove_twice_raises(self):
+        tree = make_tree()
+        tree.insert(1.0, 1.0, 1.0)
+        assert tree.remove_point(1.0, 1.0, 1.0) is not None
+        with pytest.raises(MappingError):
+            tree.remove_point(1.0, 1.0, 1.0)
+
+    def test_remove_out_of_extent_is_none(self):
+        tree = make_tree()
+        assert tree.remove_point(50.0, 0.0, 0.0) is None
+
+
+class TestBoundaryCoordinates:
+    def test_points_on_cell_edges_go_to_upper_cell(self):
+        """The octree's `>=` descent rule: an exact-edge point belongs to
+        the cell whose minimum corner it sits on."""
+        tree = make_tree()
+        for b in (-0.25, 0.0, 0.25, 2.5, -4.0):
+            leaf = tree.insert_point(b, b, b)
+            assert leaf is not None
+            cx, cy, cz = leaf
+            assert cx == pytest.approx(b + LEAF / 2.0, abs=1e-12)
+            assert cy == pytest.approx(b + LEAF / 2.0, abs=1e-12)
+            assert cz == pytest.approx(b + LEAF / 2.0, abs=1e-12)
+
+    def test_extent_faces(self):
+        tree = make_tree()
+        # The maximum face is inside (closed bounds), landing in the last leaf.
+        leaf = tree.insert_point(HALF, 0.0, 0.0)
+        assert leaf is not None
+        assert leaf[0] == pytest.approx(HALF - LEAF / 2.0)
+        assert tree.insert_point(-HALF, 0.0, 0.0) is not None
+
+    def test_out_of_extent_points_rejected(self):
+        tree = make_tree()
+        assert not tree.insert(HALF + 1e-6, 0.0, 0.0)
+        assert not tree.insert(0.0, -HALF - 1.0, 0.0)
+        assert tree.insert_array(np.array([[9.0, 0.0, 0.0], [0.0, 0.0, 0.0]])) == 1
+        assert tree.n_points == 1
+
+
+class TestSpecAnchoredLattice:
+    def test_for_spec_leaf_size_is_exact(self):
+        spec = GridSpec.from_bbox(BoundingBox(0, 0, 21.3, 17.9), 0.15, margin_m=1.0)
+        tree = OctoMap.for_spec(spec)
+        assert tree.leaf_size == spec.cell_size_m  # exact, not approx
+
+    def test_for_spec_min_corner_aligned_to_grid(self):
+        spec = GridSpec.from_bbox(BoundingBox(-3.7, 2.1, 18.0, 12.0), 0.15, margin_m=1.0)
+        tree = OctoMap.for_spec(spec)
+        mx, my, mz = tree.min_corner
+        cells_x = (spec.origin_x - mx) / tree.leaf_size
+        cells_y = (spec.origin_y - my) / tree.leaf_size
+        assert cells_x == pytest.approx(round(cells_x), abs=1e-9)
+        assert cells_y == pytest.approx(round(cells_y), abs=1e-9)
+        assert round(cells_x) >= 1 and round(cells_y) >= 1  # padding present
+
+    def test_for_spec_covers_grid_and_z_floor(self):
+        spec = GridSpec.from_bbox(BoundingBox(0, 0, 22.0, 15.0), 0.15, margin_m=1.0)
+        tree = OctoMap.for_spec(spec, z_floor_m=-4.0)
+        mx, my, mz = tree.min_corner
+        side = 2.0 * (tree.leaf_size * (2 ** tree.max_depth)) / 2.0
+        assert mx <= spec.origin_x and my <= spec.origin_y
+        assert mx + side >= spec.origin_x + spec.n_cols * spec.cell_size_m
+        assert my + side >= spec.origin_y + spec.n_rows * spec.cell_size_m
+        assert mz <= -4.0 + 1e-9
+
+    def test_same_lattice_regardless_of_cloud(self):
+        """The point of for_spec: insertion history never moves the lattice."""
+        spec = GridSpec.from_bbox(BoundingBox(0, 0, 10.0, 10.0), 0.25, margin_m=0.0)
+        a = OctoMap.for_spec(spec)
+        b = OctoMap.for_spec(spec)
+        a.insert(1.0, 1.0, 1.0)
+        b.insert_array(np.array([[9.9, 9.9, 2.0], [1.0, 1.0, 1.0]]))
+        assert a.insert_point(4.4, 5.5, 0.7) == b.insert_point(4.4, 5.5, 0.7)

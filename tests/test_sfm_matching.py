@@ -23,6 +23,34 @@ class TestMatchIndex:
         b = take(bench, 10.0, 1.7, 1.57)
         assert match_count(a, b) < 10
 
+    def test_match_count_equals_legacy_membership_loop(self, bench):
+        """Pin the set-intersection rewrite to the previous algorithm.
+
+        ``match_count`` used to walk one photo's feature ids and test
+        membership in the other's set one element at a time.  The rewrite
+        (``len(sa & sb)``) must produce the same number for every pair,
+        including self-pairs and asymmetric operand orders.
+        """
+
+        def legacy_match_count(a, b):
+            sb = b.feature_id_set()
+            count = 0
+            for fid in a.feature_id_set():
+                if fid in sb:
+                    count += 1
+            return count
+
+        photos = [
+            take(bench, 10.0, 1.7, -1.57),
+            take(bench, 10.05, 1.7, -1.57),
+            take(bench, 10.0, 1.7, 1.57),
+            take(bench, 18.8, 4.7, 1.57),
+        ]
+        for a in photos:
+            for b in photos:
+                assert match_count(a, b) == legacy_match_count(a, b)
+                assert match_count(a, b) == match_count(b, a)
+
     def test_index_add_remove(self, bench):
         index = MatchIndex()
         a = take(bench, 10.0, 1.7, -1.57)
