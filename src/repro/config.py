@@ -207,16 +207,111 @@ class NavigationConfig:
 
 
 @dataclass(frozen=True)
+class FaultConfig:
+    """Seeded network fault injection (off by default).
+
+    The paper's deployment runs on real phones over real Wi-Fi (Sec. III);
+    this models the failure modes that implies: message loss, duplicate
+    delivery (retransmission at a lower layer), latency jitter, and
+    client radio disconnect windows. All draws come from a named
+    :class:`~repro.simkit.rng.RngStream`, so fault patterns are
+    reproducible. A default-constructed ``FaultConfig`` is a no-op and
+    leaves the channel byte-for-byte identical to the lossless model.
+    """
+
+    drop_probability: float = 0.0
+    duplicate_probability: float = 0.0
+    jitter_s: float = 0.0
+    #: Half-open ``(start_s, end_s)`` simulated-time windows during which
+    #: the channel is disconnected: messages sent inside a window are lost.
+    disconnect_windows: Tuple[Tuple[float, float], ...] = ()
+
+    @property
+    def enabled(self) -> bool:
+        """True when any fault mechanism can fire."""
+        return (
+            self.drop_probability > 0.0
+            or self.duplicate_probability > 0.0
+            or self.jitter_s > 0.0
+            or bool(self.disconnect_windows)
+        )
+
+    def in_disconnect(self, time_s: float) -> bool:
+        """Whether ``time_s`` falls inside a configured disconnect window."""
+        return any(start <= time_s < end for start, end in self.disconnect_windows)
+
+    def validate(self) -> None:
+        if not 0.0 <= self.drop_probability < 1.0:
+            raise ConfigError("drop_probability must be in [0, 1)")
+        if not 0.0 <= self.duplicate_probability < 1.0:
+            raise ConfigError("duplicate_probability must be in [0, 1)")
+        if self.jitter_s < 0:
+            raise ConfigError("jitter_s cannot be negative")
+        for window in self.disconnect_windows:
+            if len(window) != 2 or window[0] < 0 or window[1] <= window[0]:
+                raise ConfigError(f"bad disconnect window {window!r}")
+
+
+@dataclass(frozen=True)
 class NetworkConfig:
     """Simulated mobile-client/backend network channel."""
 
     latency_s: float = 0.05
     bandwidth_mbps: float = 20.0
     photo_size_mb: float = 2.5
+    faults: FaultConfig = field(default_factory=FaultConfig)
 
     def validate(self) -> None:
         if self.latency_s < 0 or self.bandwidth_mbps <= 0:
             raise ConfigError("invalid network parameters")
+        self.faults.validate()
+
+
+@dataclass(frozen=True)
+class ProtocolConfig:
+    """Fault-tolerant crowd-protocol parameters (leases + retries).
+
+    Crowd workers abandon assigned tasks at a measurable rate
+    (arXiv:1901.09264), so an assignment is a *lease*: if the photos do
+    not arrive before ``lease_duration_s`` of simulated time, the backend
+    reaps the lease and requeues the task. Clients retransmit un-ACKed
+    requests and uploads with exponential backoff. The baseline
+    deployment's worst observed assignment-to-completion latency is
+    ~122 s, so the default lease leaves generous headroom for retries.
+    """
+
+    lease_duration_s: float = 600.0
+    #: Cadence for explicit :meth:`BackendServer.reap_expired` sweeps;
+    #: the event-driven reaper fires exactly at each lease expiry, so this
+    #: only paces external/manual sweeps.
+    reaper_interval_s: float = 60.0
+    rto_initial_s: float = 4.0
+    rto_backoff: float = 2.0
+    rto_max_s: float = 60.0
+    max_retries: int = 8
+
+    def timeout_for(self, attempt: int, floor_s: float = 0.0) -> float:
+        """Retransmission timeout for the ``attempt``-th send (0-based).
+
+        ``floor_s`` is a deterministic lower bound covering the expected
+        ACK round trip (transfer + server processing); the exponential
+        term backs off on top of it, capped at ``rto_max_s``.
+        """
+        if attempt < 0:
+            raise ConfigError(f"attempt must be >= 0, got {attempt}")
+        return floor_s + min(self.rto_initial_s * self.rto_backoff ** attempt, self.rto_max_s)
+
+    def validate(self) -> None:
+        if self.lease_duration_s <= 0:
+            raise ConfigError("lease_duration_s must be positive")
+        if self.reaper_interval_s <= 0:
+            raise ConfigError("reaper_interval_s must be positive")
+        if self.rto_initial_s <= 0 or self.rto_max_s < self.rto_initial_s:
+            raise ConfigError("need 0 < rto_initial_s <= rto_max_s")
+        if self.rto_backoff < 1.0:
+            raise ConfigError("rto_backoff must be >= 1")
+        if self.max_retries < 0:
+            raise ConfigError("max_retries cannot be negative")
 
 
 @dataclass(frozen=True)
@@ -231,6 +326,7 @@ class SnapTaskConfig:
     eval: EvalConfig = field(default_factory=EvalConfig)
     nav: NavigationConfig = field(default_factory=NavigationConfig)
     network: NetworkConfig = field(default_factory=NetworkConfig)
+    protocol: ProtocolConfig = field(default_factory=ProtocolConfig)
     seed: int = 2018
 
     def validate(self) -> "SnapTaskConfig":
@@ -244,6 +340,7 @@ class SnapTaskConfig:
             self.eval,
             self.nav,
             self.network,
+            self.protocol,
         ):
             section.validate()
         return self

@@ -9,7 +9,12 @@ from .guided import (
 )
 from .mobility import HotspotMobility, Trajectory, TrajectoryPoint
 from .opportunistic import OpportunisticCollector, OpportunisticDataset
-from .participants import Participant, guided_participants, make_participants
+from .participants import (
+    Participant,
+    guided_participants,
+    make_participants,
+    unreliable_participants,
+)
 from .selection import (
     BudgetGreedyPolicy,
     IncentiveLedger,
@@ -54,4 +59,5 @@ __all__ = [
     "frame_specs_for_walk",
     "guided_participants",
     "make_participants",
+    "unreliable_participants",
 ]

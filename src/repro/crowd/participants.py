@@ -8,7 +8,7 @@ device with a hand-steadiness parameter that scales their motion blur.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import List, Sequence
 
 from ..camera.intrinsics import GALAXY_S7, IPHONE_7, NEXUS_5, Intrinsics
@@ -17,11 +17,19 @@ from ..simkit.rng import RngStream
 
 @dataclass(frozen=True)
 class Participant:
-    """One crowdsourcing participant."""
+    """One crowdsourcing participant.
+
+    ``dropout_hazard`` is the per-task probability that the participant
+    abandons an assigned task without a word — paid-crowdsourcing field
+    studies (arXiv:1901.09264) show abandonment is the norm, not the
+    exception. The default of 0 models the paper's supervised cohort;
+    the deployment layer's task leases absorb any non-zero hazard.
+    """
 
     name: str
     device: Intrinsics
     steadiness: float  # in (0, 1]; 1 = perfectly steady hands
+    dropout_hazard: float = 0.0  # per-task abandonment probability in [0, 1)
 
     def blur_for(self, base_blur: float, rng: RngStream) -> float:
         """Actual motion blur of one capture given situational base blur."""
@@ -50,3 +58,22 @@ def make_participants(
 def guided_participants(count: int, rng: RngStream) -> List[Participant]:
     """The guided cohort used Galaxy S7 + Nexus 5 (Sec. V-B)."""
     return make_participants(count, rng, devices=(GALAXY_S7, NEXUS_5))
+
+
+def unreliable_participants(
+    count: int,
+    rng: RngStream,
+    dropout_hazard: float = 0.15,
+    devices: Sequence[Intrinsics] = (GALAXY_S7, NEXUS_5),
+) -> List[Participant]:
+    """A cohort of real-world crowd workers who sometimes walk away.
+
+    Same device/steadiness mix as the guided cohort but with a per-task
+    abandonment probability, for fault-tolerance experiments.
+    """
+    if not 0.0 <= dropout_hazard < 1.0:
+        raise ValueError(f"dropout_hazard must be in [0, 1), got {dropout_hazard}")
+    return [
+        replace(p, dropout_hazard=dropout_hazard)
+        for p in make_participants(count, rng, devices=devices)
+    ]

@@ -52,5 +52,9 @@ class ProtocolError(ReproError):
     """Client/server message exchange violated the SnapTask protocol."""
 
 
+class LeaseError(ProtocolError):
+    """Task-lease bookkeeping misuse (double lease, reaping a live lease)."""
+
+
 class ConfigError(ReproError):
     """A configuration value is out of its documented range."""

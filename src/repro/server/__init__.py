@@ -1,7 +1,7 @@
 """Client/server deployment layer over the discrete-event simulator."""
 
 from .backend import PROCESSING_S_PER_PHOTO, BackendServer
-from .client import ClientStats, MobileClient
+from .client import CAPTURE_INTERVAL_S, POLL_INTERVAL_S, ClientStats, MobileClient
 from .deployment import Deployment, DeploymentReport
 from .messages import (
     MessageType,
@@ -10,17 +10,20 @@ from .messages import (
     TaskAssignment,
     TaskRequest,
 )
-from .storage import BackendStore, MapSnapshot
+from .storage import BackendStore, Lease, MapSnapshot
 
 __all__ = [
     "BackendServer",
     "BackendStore",
+    "CAPTURE_INTERVAL_S",
     "ClientStats",
     "Deployment",
     "DeploymentReport",
+    "Lease",
     "MapSnapshot",
     "MessageType",
     "MobileClient",
+    "POLL_INTERVAL_S",
     "PROCESSING_S_PER_PHOTO",
     "PhotoBatch",
     "ProcessingResult",

@@ -4,19 +4,38 @@ Wraps a :class:`SnapTaskPipeline` behind the message protocol: it hands
 out tasks from its queue, processes uploaded photo batches with
 Algorithm 1 as they arrive, stores map snapshots, and answers
 localization queries against the current model.
+
+Fault tolerance (this layer's contract with unreliable clients):
+
+* **Task leases** — every assignment expires after
+  ``ProtocolConfig.lease_duration_s`` of simulated time. The reaper
+  requeues expired tasks, so a participant who wanders off mid-task
+  (Sec. III runs on real volunteers) costs latency, never coverage. In a
+  discrete-event simulation the periodic reaper degenerates to one exact
+  event per lease expiry, cancelled early when the upload lands;
+  :meth:`reap_expired` additionally offers the classic sweep form.
+* **Idempotent exchanges** — task requests and photo batches carry ids;
+  duplicated or retransmitted messages are answered from dedup ledgers
+  instead of double-assigning tasks or double-processing batches.
+* **Failure replies, not crashes** — a malformed remote upload yields a
+  failure :class:`ProcessingResult`; only successful batches complete
+  their task, failed attempts release the lease (feeding the paper's
+  TT-attempt annotation escalation, Sec. IV).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from collections import deque
+from dataclasses import replace
+from typing import Callable, Deque, Dict, List, Optional
 
 from ..annotation.processor import AnnotationProcessor
-from ..core.pipeline import BatchOutcome, SnapTaskPipeline
-from ..core.tasks import Task, TaskKind
+from ..config import ProtocolConfig
+from ..core.pipeline import SnapTaskPipeline
+from ..core.tasks import Task, TaskKind, TaskStatus
 from ..errors import ProtocolError
 from ..nav.localization import ImageLocalizer, PositionFix
-from ..simkit.events import Simulator
+from ..simkit.events import EventToken, Simulator
 from .messages import PhotoBatch, ProcessingResult, TaskAssignment, TaskRequest
 from .storage import BackendStore
 
@@ -35,14 +54,22 @@ class BackendServer:
         venue_id: str,
         localizer: Optional[ImageLocalizer] = None,
         annotation_processor: Optional[AnnotationProcessor] = None,
+        protocol: Optional[ProtocolConfig] = None,
     ):
         self._pipeline = pipeline
         self._sim = simulator
         self._store = BackendStore(venue_id)
         self._localizer = localizer
         self._annotation = annotation_processor
-        self._task_queue: List[Task] = []
+        self._protocol = protocol if protocol is not None else ProtocolConfig()
+        self._task_queue: Deque[Task] = deque()
         self._result_log: List[ProcessingResult] = []
+        #: request_id -> assignment already granted (idempotent requests).
+        self._request_ledger: Dict[str, TaskAssignment] = {}
+        #: batch_id -> result (None while the batch is still processing).
+        self._batch_ledger: Dict[str, Optional[ProcessingResult]] = {}
+        #: task_id -> pending lease-expiry event.
+        self._lease_reaps: Dict[int, EventToken] = {}
 
     @property
     def store(self) -> BackendStore:
@@ -53,21 +80,86 @@ class BackendServer:
         return self._pipeline
 
     @property
+    def protocol(self) -> ProtocolConfig:
+        return self._protocol
+
+    @property
     def results(self) -> List[ProcessingResult]:
         return list(self._result_log)
+
+    @property
+    def queued_tasks(self) -> int:
+        return len(self._task_queue)
+
+    def enqueue_task(self, task: Task) -> None:
+        """Put a task on the dispatch queue (deployment bootstrap glue)."""
+        self._task_queue.append(task)
 
     # -- protocol handlers ---------------------------------------------------------
 
     def handle_task_request(self, request: TaskRequest) -> TaskAssignment:
-        """Assign the next pending task, or report completion."""
+        """Assign the next pending task, or report completion.
+
+        Requests carrying a ``request_id`` are idempotent: a duplicate
+        (network-level copy or client retransmission) is answered with
+        the original assignment instead of leaking a second lease.
+        """
+        rid = request.request_id
+        if rid is not None and rid in self._request_ledger:
+            self._store.bump("requests_deduped")
+            return self._request_ledger[rid]
+        assignment = self._next_assignment(request)
+        if rid is not None:
+            self._request_ledger[rid] = assignment
+        return assignment
+
+    def _next_assignment(self, request: TaskRequest) -> TaskAssignment:
         if self._pipeline.venue_covered:
-            return TaskAssignment(client_id=request.client_id, task=None, venue_covered=True)
+            return TaskAssignment(
+                client_id=request.client_id,
+                task=None,
+                venue_covered=True,
+                request_id=request.request_id,
+            )
+        task = self._pop_next_task()
+        if task is None:
+            return TaskAssignment(
+                client_id=request.client_id,
+                task=None,
+                venue_covered=False,
+                request_id=request.request_id,
+            )
+        self._store.record_task(task)
+        expires_at = self._sim.now + self._protocol.lease_duration_s
+        assigned = self._store.assign_task(
+            task.task_id,
+            request.client_id,
+            granted_at=self._sim.now,
+            expires_at=expires_at,
+        )
+        self._schedule_lease_reap(task.task_id, expires_at)
+        return TaskAssignment(
+            client_id=request.client_id,
+            task=assigned,
+            request_id=request.request_id,
+            lease_expires_at=expires_at,
+        )
+
+    def _pop_next_task(self) -> Optional[Task]:
+        """Explicitly pop the next *dispatchable* task (O(1) deque pop).
+
+        Skips queue entries that were finished or re-leased through
+        another path while they waited (e.g. a late upload completed a
+        requeued task): their recorded status is no longer PENDING.
+        """
         while self._task_queue:
-            task = self._task_queue.pop(0)
-            self._store.record_task(task)
-            assigned = self._store.assign_task(task.task_id, request.client_id)
-            return TaskAssignment(client_id=request.client_id, task=assigned)
-        return TaskAssignment(client_id=request.client_id, task=None, venue_covered=False)
+            task = self._task_queue.popleft()
+            recorded = self._store.maybe_task(task.task_id)
+            if recorded is not None and recorded.status != TaskStatus.PENDING:
+                self._store.bump("stale_queue_entries_skipped")
+                continue
+            return recorded if recorded is not None else task
+        return None
 
     def handle_photo_batch(
         self,
@@ -77,10 +169,41 @@ class BackendServer:
         """Queue SfM processing of an uploaded batch (simulated latency).
 
         ``on_done`` fires when processing completes, carrying the result
-        the server would push back to the client.
+        the server would push back to the client. Batches carrying a
+        ``batch_id`` are idempotent: duplicates of an in-flight batch are
+        dropped, duplicates of a finished batch are re-ACKed from the
+        ledger — the pipeline never processes the same batch twice.
         """
+        bid = batch.batch_id
+        if bid is not None:
+            if bid in self._batch_ledger:
+                self._store.bump("batches_deduped")
+                prior = self._batch_ledger[bid]
+                if prior is not None and on_done is not None:
+                    on_done(prior)  # replay the lost/raced ACK
+                return
+            self._batch_ledger[bid] = None
         if not batch.photos:
-            raise ProtocolError("empty photo batch upload")
+            # A remote client's malformed upload must not crash the event
+            # loop: reply with a failure result and requeue the task.
+            self._store.bump("empty_batches_rejected")
+            result = ProcessingResult(
+                client_id=batch.client_id,
+                task_id=batch.task_id,
+                photos_added=False,
+                coverage_cells=self._pipeline.coverage_cells,
+                venue_covered=self._pipeline.venue_covered,
+                batch_id=bid,
+                error="empty photo batch upload",
+            )
+            if bid is not None:
+                self._batch_ledger[bid] = result
+            if batch.task_id is not None:
+                self._requeue_task(batch.task_id)
+            self._result_log.append(result)
+            if on_done is not None:
+                on_done(result)
+            return
         delay = PROCESSING_S_PER_PHOTO * len(batch.photos)
         self._sim.schedule(
             delay,
@@ -95,6 +218,59 @@ class BackendServer:
         model_ids = {int(f) for f in self._pipeline.model().cloud.feature_ids}
         return self._localizer.locate(photo, model_ids)
 
+    # -- lease reaper ------------------------------------------------------------------
+
+    def reap_expired(self) -> int:
+        """Sweep all leases and requeue the expired ones; returns the count.
+
+        The event-driven reaper normally does this one lease at a time at
+        the exact expiry instant; this sweep exists for external drivers
+        (and tests) that want the classic periodic form.
+        """
+        reaped = 0
+        for lease in self._store.expired_leases(self._sim.now):
+            if self._reap_lease(lease.task_id):
+                reaped += 1
+        return reaped
+
+    def _schedule_lease_reap(self, task_id: int, expires_at: float) -> None:
+        token = self._sim.schedule_at(
+            expires_at,
+            lambda: self._reap_lease(task_id),
+            label=f"lease-reap:{task_id}",
+        )
+        self._lease_reaps[task_id] = token
+
+    def _reap_lease(self, task_id: int) -> bool:
+        """Requeue one task whose lease expired (client presumed gone)."""
+        token = self._lease_reaps.pop(task_id, None)
+        if token is not None and not token.executed:
+            token.cancel()
+        requeued = self._store.expire_lease(task_id, now=self._sim.now)
+        if requeued is None:
+            return False
+        # Abandoned work goes to the front: it blocks campaign progress
+        # (MAX_TASKS=1 keeps the task stream serial), so retry it first.
+        self._task_queue.appendleft(requeued)
+        return True
+
+    def _release_lease(self, task_id: int) -> None:
+        token = self._lease_reaps.pop(task_id, None)
+        if token is not None:
+            token.cancel()
+        self._store.release_lease(task_id)
+
+    def _requeue_task(self, task_id: int) -> None:
+        """Hand a leased task straight back to the queue (failed upload)."""
+        task = self._store.maybe_task(task_id)
+        if task is None or task.status != TaskStatus.ASSIGNED:
+            return
+        self._release_lease(task_id)
+        pending = replace(task, status=TaskStatus.PENDING)
+        self._store.record_task(pending)
+        self._store.bump("tasks_requeued")
+        self._task_queue.appendleft(pending)
+
     # -- internals --------------------------------------------------------------------
 
     def _process(
@@ -102,7 +278,7 @@ class BackendServer:
         batch: PhotoBatch,
         on_done: Optional[Callable[[ProcessingResult], None]],
     ) -> None:
-        task = self._store.task(batch.task_id) if batch.task_id is not None else None
+        task = self._store.maybe_task(batch.task_id) if batch.task_id is not None else None
         photos = list(batch.photos)
         if (
             task is not None
@@ -125,8 +301,20 @@ class BackendServer:
         outcome = self._pipeline.process_batch(photos, task)
         self._store.save_maps(outcome.iteration, outcome.coverage_cells, outcome.maps)
         self._store.bump("photos_processed", len(batch.photos))
-        if batch.task_id is not None:
-            self._store.complete_task(batch.task_id)
+        if batch.task_id is not None and task is not None:
+            if outcome.photos_added:
+                # Only successful batches complete the task.
+                self._release_lease(batch.task_id)
+                self._store.complete_task(batch.task_id)
+            else:
+                # The batch registered zero photos: the attempt failed.
+                # Release the lease and mark the attempt failed; Algorithm 1
+                # already escalated (reissue / annotation task) via
+                # ``outcome.new_tasks``, so the location is re-covered.
+                self._release_lease(batch.task_id)
+                current = self._store.maybe_task(batch.task_id)
+                if current is not None and current.status == TaskStatus.ASSIGNED:
+                    self._store.fail_task(batch.task_id)
         for new_task in outcome.new_tasks:
             self._task_queue.append(new_task)
         result = ProcessingResult(
@@ -135,7 +323,10 @@ class BackendServer:
             photos_added=outcome.photos_added,
             coverage_cells=outcome.coverage_cells,
             venue_covered=outcome.venue_covered,
+            batch_id=batch.batch_id,
         )
+        if batch.batch_id is not None:
+            self._batch_ledger[batch.batch_id] = result
         self._result_log.append(result)
         if on_done is not None:
             on_done(result)

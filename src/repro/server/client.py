@@ -5,24 +5,44 @@ backend for a task, walks there with AR navigation, performs the 360°
 capture (or the annotation flow), and streams the batch up through the
 simulated channel. Driving several clients against one backend on one
 event loop exercises the full distributed deployment.
+
+The client end of the fault-tolerant protocol:
+
+* every task request carries a fresh ``request_id`` and every upload a
+  stable ``batch_id``; un-ACKed exchanges are retransmitted with
+  exponential backoff (``ProtocolConfig``) until ``max_retries`` is
+  exhausted, at which point the batch is abandoned (the backend's lease
+  reaper requeues the task);
+* duplicate or stale responses (replayed ACKs, reordered deliveries) are
+  recognised by id and dropped, so faults never double-count work;
+* :meth:`drop_out` models the participant who simply leaves — volunteers
+  do (arXiv:1901.09264) — cancelling all client-side timers and letting
+  the lease expire server-side.
+
+With fault injection disabled every retransmission timer is cancelled by
+the in-order ACK before it fires, leaving the event trace identical to
+the lossless protocol.
 """
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field
 from typing import List, Optional
 
 from ..annotation.tool import AnnotationCampaign
 from ..camera.capture import CaptureSimulator
 from ..camera.pose import CameraPose
+from ..config import ProtocolConfig
 from ..core.tasks import Task, TaskKind
 from ..crowd.participants import Participant
 from ..errors import ProtocolError
 from ..geometry import Vec2
 from ..nav.navigation import Navigator
-from ..simkit.events import Simulator
+from ..simkit.events import EventToken, Simulator
 from ..simkit.network import DuplexLink
-from .backend import BackendServer
+from ..simkit.rng import RngStream
+from .backend import PROCESSING_S_PER_PHOTO, BackendServer
 from .messages import PhotoBatch, ProcessingResult, TaskAssignment, TaskRequest
 
 #: Guided captures are steady (same value the crowd simulator uses).
@@ -30,6 +50,9 @@ CLIENT_CAPTURE_BLUR = 0.03
 
 #: Seconds per captured photo during a sweep.
 CAPTURE_INTERVAL_S = 1.0
+
+#: Poll interval when the backend has no work yet.
+POLL_INTERVAL_S = 5.0
 
 
 @dataclass
@@ -41,6 +64,13 @@ class ClientStats:
     walk_time_s: float = 0.0
     localization_queries: int = 0
     localization_misses: int = 0
+    retries: int = 0
+    requests_abandoned: int = 0
+    uploads_abandoned: int = 0
+    stale_responses: int = 0
+    duplicate_results: int = 0
+    failed_results: int = 0
+    dropped_out: bool = False
     results: List[ProcessingResult] = field(default_factory=list)
 
 
@@ -59,6 +89,8 @@ class MobileClient:
         link: DuplexLink,
         start_position: Vec2,
         photo_size_mb: float = 2.5,
+        protocol: Optional[ProtocolConfig] = None,
+        rng: Optional[RngStream] = None,
     ):
         self._client_id = client_id
         self._participant = participant
@@ -70,7 +102,19 @@ class MobileClient:
         self._link = link
         self._position = start_position
         self._photo_size_mb = photo_size_mb
+        self._protocol = protocol if protocol is not None else ProtocolConfig()
+        self._rng = rng
         self._active = False
+        # Request / upload exchange state (one outstanding of each).
+        self._request_seq = itertools.count(1)
+        self._batch_seq = itertools.count(1)
+        self._pending_request_id: Optional[str] = None
+        self._request_attempt = 0
+        self._request_rto: Optional[EventToken] = None
+        self._pending_batch: Optional[PhotoBatch] = None
+        self._upload_attempt = 0
+        self._upload_rto: Optional[EventToken] = None
+        self._acked_batches: set = set()
         self.stats = ClientStats()
 
     @property
@@ -81,6 +125,10 @@ class MobileClient:
     def position(self) -> Vec2:
         return self._position
 
+    @property
+    def active(self) -> bool:
+        return self._active
+
     def start(self) -> None:
         """Begin the request/capture/upload loop on the event queue."""
         if self._active:
@@ -90,33 +138,101 @@ class MobileClient:
 
     def stop(self) -> None:
         self._active = False
+        self._cancel_timers()
+
+    def drop_out(self) -> None:
+        """The participant abandons the campaign mid-task.
+
+        Nothing is sent to the backend — a real volunteer just leaves.
+        The task lease expires server-side and the reaper requeues it.
+        """
+        if not self._active:
+            return
+        self._active = False
+        self.stats.dropped_out = True
+        self._cancel_timers()
+        self._pending_request_id = None
+        self._pending_batch = None
 
     # -- loop steps -----------------------------------------------------------------
 
     def _request_task(self) -> None:
         if not self._active:
             return
-        request = TaskRequest(client_id=self._client_id, position=self._position)
+        self._pending_request_id = f"{self._client_id}:req-{next(self._request_seq)}"
+        self._request_attempt = 0
+        self._send_task_request()
+
+    def _send_task_request(self) -> None:
+        if not self._active or self._pending_request_id is None:
+            return
+        request = TaskRequest(
+            client_id=self._client_id,
+            position=self._position,
+            request_id=self._pending_request_id,
+        )
         self._link.uplink.send(
             request,
             lambda msg: self._on_assignment(self._server.handle_task_request(msg)),
             size_mb=0.001,
             label="task-request",
         )
+        timeout = self._protocol.timeout_for(self._request_attempt)
+        self._request_rto = self._sim.schedule(
+            timeout, self._on_request_timeout, label=f"{self._client_id}:rto-request"
+        )
+
+    def _on_request_timeout(self) -> None:
+        if not self._active or self._pending_request_id is None:
+            return
+        if self._request_attempt >= self._protocol.max_retries:
+            # Give up on this exchange; start a fresh one after a poll wait.
+            self.stats.requests_abandoned += 1
+            self._pending_request_id = None
+            self._sim.schedule(
+                POLL_INTERVAL_S, self._request_task, label=f"{self._client_id}:poll"
+            )
+            return
+        self._request_attempt += 1
+        self.stats.retries += 1
+        self._send_task_request()
 
     def _on_assignment(self, assignment: TaskAssignment) -> None:
         if not self._active:
             return
+        if (
+            assignment.request_id is not None
+            and assignment.request_id != self._pending_request_id
+        ):
+            # Duplicate or reordered response to an exchange we already
+            # settled; the backend's request ledger kept it idempotent.
+            self.stats.stale_responses += 1
+            return
+        if self._request_rto is not None:
+            self._request_rto.cancel()
+            self._request_rto = None
+        self._pending_request_id = None
         if assignment.task is None:
             if assignment.venue_covered:
                 self._active = False
+                self._cancel_timers()
                 return
             # Nothing to do right now; poll again shortly.
-            self._sim.schedule(5.0, self._request_task, label=f"{self._client_id}:poll")
+            self._sim.schedule(
+                POLL_INTERVAL_S, self._request_task, label=f"{self._client_id}:poll"
+            )
             return
         self._execute(assignment.task)
 
     def _execute(self, task: Task) -> None:
+        if (
+            self._rng is not None
+            and self._participant.dropout_hazard > 0.0
+            and self._rng.chance(self._participant.dropout_hazard)
+        ):
+            # The participant wanders off mid-walk; the lease will expire.
+            self.drop_out()
+            return
         start = self._localize()
         nav = self._navigator.navigate(start, task.location)
         self._position = nav.arrived
@@ -145,12 +261,15 @@ class MobileClient:
 
         capture_time = nav.walk_time_s + CAPTURE_INTERVAL_S * len(photos)
         batch = PhotoBatch(
-            client_id=self._client_id, task_id=task.task_id, photos=tuple(photos)
+            client_id=self._client_id,
+            task_id=task.task_id,
+            photos=tuple(photos),
+            batch_id=f"{self._client_id}:batch-{next(self._batch_seq)}",
         )
         self.stats.photos_uploaded += len(photos)
         self._sim.schedule(
             capture_time,
-            lambda: self._upload(batch),
+            lambda: self._begin_upload(batch),
             label=f"{self._client_id}:capture",
         )
 
@@ -161,8 +280,6 @@ class MobileClient:
         against the model; on failure it falls back to dead reckoning
         (its last known position).
         """
-        import math
-
         query = self._capture.take_photo(
             CameraPose(self._position, 0.0),
             self._participant.device,
@@ -180,18 +297,92 @@ class MobileClient:
             return self._position
         return fix.position
 
-    def _upload(self, batch: PhotoBatch) -> None:
+    # -- upload path ----------------------------------------------------------------
+
+    def _begin_upload(self, batch: PhotoBatch) -> None:
+        if not self._active:
+            return
+        self._pending_batch = batch
+        self._upload_attempt = 0
+        self._transmit_batch()
+
+    def _transmit_batch(self) -> None:
+        if not self._active or self._pending_batch is None:
+            return
+        batch = self._pending_batch
         self._link.uplink.send(
             batch,
             lambda msg: self._server.handle_photo_batch(msg, self._on_result),
             size_mb=self._photo_size_mb * len(batch.photos),
             label="photo-batch",
         )
+        timeout = self._protocol.timeout_for(
+            self._upload_attempt, floor_s=self._ack_estimate_s(batch)
+        )
+        self._upload_rto = self._sim.schedule(
+            timeout, self._on_upload_timeout, label=f"{self._client_id}:rto-upload"
+        )
+
+    def _ack_estimate_s(self, batch: PhotoBatch) -> float:
+        """Deterministic lower bound on the upload's ACK round trip."""
+        transfer = self._link.uplink.transfer_time(
+            self._photo_size_mb * len(batch.photos)
+        )
+        return transfer + PROCESSING_S_PER_PHOTO * len(batch.photos)
+
+    def _on_upload_timeout(self) -> None:
+        if not self._active or self._pending_batch is None:
+            return
+        if self._upload_attempt >= self._protocol.max_retries:
+            # The network ate every copy; abandon the batch. The lease
+            # reaper will requeue the task for someone else.
+            self.stats.uploads_abandoned += 1
+            self._pending_batch = None
+            self._sim.schedule(
+                POLL_INTERVAL_S, self._request_task, label=f"{self._client_id}:poll"
+            )
+            return
+        self._upload_attempt += 1
+        self.stats.retries += 1
+        self._transmit_batch()
 
     def _on_result(self, result: ProcessingResult) -> None:
+        if not self._active:
+            return
+        advances_loop = result.batch_id is None  # legacy un-id'd exchange
+        if result.batch_id is not None:
+            if result.batch_id in self._acked_batches:
+                self.stats.duplicate_results += 1
+                return
+            self._acked_batches.add(result.batch_id)
+            if (
+                self._pending_batch is not None
+                and result.batch_id == self._pending_batch.batch_id
+            ):
+                if self._upload_rto is not None:
+                    self._upload_rto.cancel()
+                    self._upload_rto = None
+                self._pending_batch = None
+                advances_loop = True
+            # else: a late ACK for a batch we already gave up on — record
+            # the outcome but do not fork a second request loop.
         self.stats.results.append(result)
-        self.stats.tasks_completed += 1
+        if result.ok:
+            self.stats.tasks_completed += 1
+        else:
+            self.stats.failed_results += 1
         if result.venue_covered:
             self._active = False
+            self._cancel_timers()
             return
-        self._sim.schedule(1.0, self._request_task, label=f"{self._client_id}:next")
+        if advances_loop:
+            self._sim.schedule(1.0, self._request_task, label=f"{self._client_id}:next")
+
+    # -- internals -------------------------------------------------------------------
+
+    def _cancel_timers(self) -> None:
+        for token in (self._request_rto, self._upload_rto):
+            if token is not None and token.active:
+                token.cancel()
+        self._request_rto = None
+        self._upload_rto = None

@@ -5,17 +5,32 @@ several phones concurrently requesting tasks, walking, capturing and
 uploading over latency/bandwidth-limited links to one backend whose SfM
 processing is itself time-consuming. Everything runs on one
 discrete-event loop, so runs are deterministic and timings measurable.
+
+Fault experiments layer on top without perturbing the lossless baseline:
+
+* ``faults`` — a :class:`~repro.config.FaultConfig` applied to every
+  client link (seeded per-link RNG streams keep runs reproducible);
+* ``dropouts`` — ``{client_id: sim_time_s}`` scheduling deterministic
+  mid-campaign abandonment;
+* ``dropout_hazard`` — per-task stochastic abandonment probability
+  applied to every participant.
+
+With all three left at their defaults the deployment is event-for-event
+identical to the lossless protocol (verified by the differential test in
+``tests/test_fault_tolerance.py``).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional
+from dataclasses import dataclass, replace
+from typing import Dict, List, Mapping, Optional
 
 from ..annotation.processor import AnnotationProcessor
 from ..annotation.tool import AnnotationCampaign
+from ..config import FaultConfig
 from ..crowd.guided import GuidedCampaign
 from ..crowd.participants import guided_participants
+from ..errors import ProtocolError
 from ..nav.localization import ImageLocalizer
 from ..simkit.events import Simulator
 from ..simkit.network import DuplexLink
@@ -25,7 +40,13 @@ from .client import MobileClient
 
 @dataclass(frozen=True)
 class DeploymentReport:
-    """Summary of one simulated deployment run."""
+    """Summary of one simulated deployment run.
+
+    The first seven fields predate the fault-tolerance layer and stay
+    byte-for-byte identical under a zero-fault configuration; the rest
+    quantify the protocol's fault/retry/requeue behaviour and are all
+    zero in a lossless run.
+    """
 
     sim_time_s: float
     events_processed: int
@@ -34,13 +55,50 @@ class DeploymentReport:
     photos_uploaded: int
     total_traffic_mb: float
     coverage_cells: int
+    # -- fault-tolerance accounting (all zero in a lossless run) --
+    messages_lost: int = 0
+    messages_duplicated: int = 0
+    client_retries: int = 0
+    uploads_abandoned: int = 0
+    batches_deduped: int = 0
+    requests_deduped: int = 0
+    tasks_requeued: int = 0
+    tasks_failed: int = 0
+    leases_expired: int = 0
+    dropouts: int = 0
+
+    @property
+    def baseline_view(self) -> tuple:
+        """The pre-fault-layer report fields, for differential checks."""
+        return (
+            self.sim_time_s,
+            self.events_processed,
+            self.venue_covered,
+            self.tasks_completed,
+            self.photos_uploaded,
+            self.total_traffic_mb,
+            self.coverage_cells,
+        )
 
 
 class Deployment:
     """Builds and runs a client/server SnapTask deployment."""
 
-    def __init__(self, bench, n_clients: int = 2):
-        """``bench`` is an :class:`repro.eval.workbench.Workbench`."""
+    def __init__(
+        self,
+        bench,
+        n_clients: int = 2,
+        faults: Optional[FaultConfig] = None,
+        dropouts: Optional[Mapping[str, float]] = None,
+        dropout_hazard: float = 0.0,
+    ):
+        """``bench`` is an :class:`repro.eval.workbench.Workbench`.
+
+        ``faults`` overrides ``bench.config.network.faults`` for every
+        client link; ``dropouts`` maps client ids to the simulated time
+        at which they abandon the campaign; ``dropout_hazard`` gives all
+        participants a per-task abandonment probability.
+        """
         self.simulator = Simulator()
         self.pipeline = bench.make_pipeline()
         self.server = BackendServer(
@@ -53,6 +111,7 @@ class Deployment:
             annotation_processor=AnnotationProcessor(
                 bench.venue, bench.config, bench.rng.stream("deploy-processor")
             ),
+            protocol=bench.config.protocol,
         )
         annotation = AnnotationCampaign(
             bench.venue, bench.capture, bench.config, bench.rng.stream("deploy-annot")
@@ -60,15 +119,29 @@ class Deployment:
         participants = guided_participants(
             max(2, n_clients), bench.rng.stream("deploy-participants")
         )
+        network = bench.config.network
+        if faults is not None:
+            faults.validate()
+            network = replace(network, faults=faults)
+        fault_mode = network.faults.enabled
         self.links: List[DuplexLink] = []
         self.clients: List[MobileClient] = []
         for i in range(n_clients):
-            link = DuplexLink(self.simulator, bench.config.network, name=f"client-{i}")
+            link_rng = bench.rng.stream(f"deploy-net-{i}") if fault_mode else None
+            link = DuplexLink(self.simulator, network, name=f"client-{i}", rng=link_rng)
             self.links.append(link)
+            participant = participants[i]
+            if dropout_hazard > 0.0:
+                participant = replace(participant, dropout_hazard=dropout_hazard)
+            client_rng = (
+                bench.rng.stream(f"deploy-dropout-{i}")
+                if participant.dropout_hazard > 0.0
+                else None
+            )
             self.clients.append(
                 MobileClient(
                     client_id=f"client-{i}",
-                    participant=participants[i],
+                    participant=participant,
                     server=self.server,
                     capture=bench.capture,
                     navigator=bench.make_navigator(f"deploy-nav-{i}"),
@@ -76,10 +149,23 @@ class Deployment:
                     simulator=self.simulator,
                     link=link,
                     start_position=bench.venue.entrance,
-                    photo_size_mb=bench.config.network.photo_size_mb,
+                    photo_size_mb=network.photo_size_mb,
+                    protocol=bench.config.protocol,
+                    rng=client_rng,
                 )
             )
+        self._dropouts: Dict[str, float] = dict(dropouts or {})
+        known = {client.client_id for client in self.clients}
+        unknown = set(self._dropouts) - known
+        if unknown:
+            raise ProtocolError(f"dropout schedule names unknown clients: {sorted(unknown)}")
         self._bench = bench
+
+    def client(self, client_id: str) -> MobileClient:
+        for candidate in self.clients:
+            if candidate.client_id == client_id:
+                return candidate
+        raise ProtocolError(f"unknown client {client_id!r}")
 
     def bootstrap(self) -> None:
         """Seed the initial model (entrance video + geo-calibration)."""
@@ -99,14 +185,20 @@ class Deployment:
         )
         outcome = campaign.bootstrap()
         for task in outcome.new_tasks:
-            self.server._task_queue.append(task)  # noqa: SLF001 - deployment glue
+            self.server.enqueue_task(task)
 
     def run(self, until_s: float = 20_000.0, max_events: int = 200_000) -> DeploymentReport:
         """Bootstrap, start all clients, and drive the event loop."""
         self.bootstrap()
         for client in self.clients:
             client.start()
+        for client_id, at_s in sorted(self._dropouts.items()):
+            target = self.client(client_id)
+            self.simulator.schedule(
+                at_s, target.drop_out, label=f"{client_id}:dropout"
+            )
         self.simulator.run(until=until_s, max_events=max_events)
+        store = self.server.store
         return DeploymentReport(
             sim_time_s=self.simulator.now,
             events_processed=self.simulator.processed_events,
@@ -115,4 +207,14 @@ class Deployment:
             photos_uploaded=sum(c.stats.photos_uploaded for c in self.clients),
             total_traffic_mb=sum(link.total_traffic_mb() for link in self.links),
             coverage_cells=self.pipeline.coverage_cells,
+            messages_lost=sum(link.messages_lost for link in self.links),
+            messages_duplicated=sum(link.messages_duplicated for link in self.links),
+            client_retries=sum(c.stats.retries for c in self.clients),
+            uploads_abandoned=sum(c.stats.uploads_abandoned for c in self.clients),
+            batches_deduped=store.counter("batches_deduped"),
+            requests_deduped=store.counter("requests_deduped"),
+            tasks_requeued=store.counter("tasks_requeued"),
+            tasks_failed=store.counter("tasks_failed"),
+            leases_expired=store.counter("leases_expired"),
+            dropouts=sum(1 for c in self.clients if c.stats.dropped_out),
         )

@@ -28,10 +28,18 @@ class MessageType(enum.Enum):
 
 @dataclass(frozen=True)
 class TaskRequest:
-    """Client asks for work."""
+    """Client asks for work.
+
+    ``request_id`` makes the exchange idempotent: a retransmitted or
+    network-duplicated request with the same id is answered with the
+    original assignment instead of leaking a second task lease.
+    ``None`` (the default) opts out of deduplication, preserving the
+    pre-lease local-call semantics.
+    """
 
     client_id: str
     position: Optional[Vec2] = None
+    request_id: Optional[str] = None
 
     @property
     def message_type(self) -> MessageType:
@@ -40,11 +48,19 @@ class TaskRequest:
 
 @dataclass(frozen=True)
 class TaskAssignment:
-    """Server assigns a task (or signals completion with task=None)."""
+    """Server assigns a task (or signals completion with task=None).
+
+    Assignments are *leases*: ``lease_expires_at`` is the simulated time
+    at which the backend reaps the assignment and requeues the task if
+    the photos have not arrived. ``request_id`` echoes the request so the
+    client can discard stale or duplicated responses.
+    """
 
     client_id: str
     task: Optional[Task]
     venue_covered: bool = False
+    request_id: Optional[str] = None
+    lease_expires_at: Optional[float] = None
 
     @property
     def message_type(self) -> MessageType:
@@ -55,11 +71,18 @@ class TaskAssignment:
 
 @dataclass(frozen=True)
 class PhotoBatch:
-    """Client streams captured photos for one task."""
+    """Client streams captured photos for one task.
+
+    ``batch_id`` identifies the *logical* batch across retransmissions:
+    the backend keeps a dedup ledger keyed on it, so a duplicated or
+    retried upload is processed exactly once (and re-ACKed from the
+    ledger). ``None`` opts out of deduplication.
+    """
 
     client_id: str
     task_id: Optional[int]
     photos: Tuple[Photo, ...]
+    batch_id: Optional[str] = None
 
     @property
     def message_type(self) -> MessageType:
@@ -74,13 +97,25 @@ class PhotoBatch:
 
 @dataclass(frozen=True)
 class ProcessingResult:
-    """Server reports the outcome of one processed batch."""
+    """Server reports the outcome of one processed batch.
+
+    Doubles as the upload ACK: ``batch_id`` echoes the batch so the
+    client can cancel its retransmission timer. ``error`` is set instead
+    of raising when a remote client's upload is malformed — a bad upload
+    must never crash the event loop.
+    """
 
     client_id: str
     task_id: Optional[int]
     photos_added: bool
     coverage_cells: int
     venue_covered: bool
+    batch_id: Optional[str] = None
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
 
     @property
     def message_type(self) -> MessageType:

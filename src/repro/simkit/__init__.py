@@ -1,7 +1,8 @@
 """Deterministic simulation substrate: RNG streams, event loop, network."""
 
+from ..config import FaultConfig
 from .events import EventToken, Simulator
-from .network import Channel, Delivery, DuplexLink
+from .network import Channel, Delivery, DuplexLink, FaultStats
 from .rng import RngRegistry, RngStream
 
 __all__ = [
@@ -9,6 +10,8 @@ __all__ = [
     "Delivery",
     "DuplexLink",
     "EventToken",
+    "FaultConfig",
+    "FaultStats",
     "RngRegistry",
     "RngStream",
     "Simulator",

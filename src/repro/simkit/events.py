@@ -27,6 +27,7 @@ class _ScheduledEvent:
     label: str = field(compare=False)
     handler: EventHandler = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
+    executed: bool = field(default=False, compare=False)
 
 
 class EventToken:
@@ -46,6 +47,19 @@ class EventToken:
     @property
     def cancelled(self) -> bool:
         return self._event.cancelled
+
+    @property
+    def executed(self) -> bool:
+        return self._event.executed
+
+    @property
+    def active(self) -> bool:
+        """True while the event is still pending (not run, not cancelled).
+
+        Retry timers use this to distinguish "the timeout is still armed"
+        from "it already fired / was ACK-cancelled" without extra state.
+        """
+        return not self._event.cancelled and not self._event.executed
 
     def cancel(self) -> None:
         self._event.cancelled = True
@@ -110,6 +124,7 @@ class Simulator:
                 raise SimulationError("event queue time went backwards")
             self._now = event.time
             self._processed += 1
+            event.executed = True
             if self._tracing:
                 self._trace.append(f"{event.time:.6f}:{event.label}")
             event.handler()
@@ -128,7 +143,9 @@ class Simulator:
                 self._now = until
                 return
             if not self.step():
-                return
+                # The queue held only cancelled events; fall through so the
+                # clock still advances to ``until`` like a normal drain.
+                break
             executed += 1
             if executed > max_events:
                 raise SimulationError(

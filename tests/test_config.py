@@ -8,7 +8,10 @@ import pytest
 from repro.config import (
     AnnotationConfig,
     CameraConfig,
+    FaultConfig,
     GridConfig,
+    NetworkConfig,
+    ProtocolConfig,
     SfmConfig,
     SnapTaskConfig,
     TaskConfig,
@@ -93,6 +96,52 @@ class TestValidation:
     def test_kmeans_must_be_4(self):
         with pytest.raises(ConfigError):
             dataclasses.replace(AnnotationConfig(), kmeans_clusters=3).validate()
+
+    def test_bad_network_bandwidth(self):
+        with pytest.raises(ConfigError):
+            NetworkConfig(bandwidth_mbps=0.0).validate()
+        with pytest.raises(ConfigError):
+            NetworkConfig(bandwidth_mbps=-5.0).validate()
+
+    def test_bad_network_latency(self):
+        with pytest.raises(ConfigError):
+            NetworkConfig(latency_s=-0.1).validate()
+
+    def test_network_validates_nested_faults(self):
+        bad = NetworkConfig(faults=FaultConfig(drop_probability=1.5))
+        with pytest.raises(ConfigError):
+            bad.validate()
+
+    def test_bad_fault_probabilities(self):
+        with pytest.raises(ConfigError):
+            FaultConfig(drop_probability=-0.1).validate()
+        with pytest.raises(ConfigError):
+            FaultConfig(duplicate_probability=1.0).validate()
+        with pytest.raises(ConfigError):
+            FaultConfig(jitter_s=-1.0).validate()
+
+    def test_bad_disconnect_window(self):
+        with pytest.raises(ConfigError):
+            FaultConfig(disconnect_windows=((10.0, 5.0),)).validate()
+        with pytest.raises(ConfigError):
+            FaultConfig(disconnect_windows=((-1.0, 5.0),)).validate()
+
+    def test_bad_protocol_config(self):
+        with pytest.raises(ConfigError):
+            ProtocolConfig(lease_duration_s=0.0).validate()
+        with pytest.raises(ConfigError):
+            ProtocolConfig(rto_backoff=0.5).validate()
+        with pytest.raises(ConfigError):
+            ProtocolConfig(max_retries=-1).validate()
+        with pytest.raises(ConfigError):
+            ProtocolConfig(rto_max_s=1.0, rto_initial_s=2.0).validate()
+
+    def test_protocol_in_top_level_validate(self):
+        config = dataclasses.replace(
+            paper_config(), protocol=ProtocolConfig(lease_duration_s=-1.0)
+        )
+        with pytest.raises(ConfigError):
+            config.validate()
 
 
 class TestDerivedValues:

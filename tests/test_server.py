@@ -87,9 +87,16 @@ class TestBackendServer:
         assert server.store.assignee_of(assignment.task.task_id) == "c1"
 
     def test_empty_batch_rejected(self, bench):
+        # An empty upload gets a failure reply instead of a server-side
+        # exception: crashing the handler would take the backend down for
+        # every other connected client.
         _sim, _pipeline, server = self.make_server(bench)
-        with pytest.raises(ProtocolError):
-            server.handle_photo_batch(PhotoBatch("c0", None, ()))
+        results = []
+        server.handle_photo_batch(PhotoBatch("c0", None, ()), on_done=results.append)
+        assert len(results) == 1
+        assert not results[0].ok
+        assert not results[0].photos_added
+        assert results[0].error == "empty photo batch upload"
 
     def test_processing_time_scales_with_batch(self, bench):
         sim, _pipeline, server = self.make_server(bench)

@@ -96,6 +96,33 @@ class TestSimulator:
         t1.cancel()
         assert sim.pending() == 1
 
+    def test_token_lifecycle_flags(self):
+        sim = Simulator()
+        token = sim.schedule(1.0, lambda: None)
+        assert token.active and not token.executed
+        sim.run()
+        assert token.executed and not token.active
+        stale = sim.schedule(1.0, lambda: None)
+        stale.cancel()
+        assert not stale.active and not stale.executed
+
+    def test_run_until_advances_past_trailing_cancelled_events(self):
+        # A queue holding only cancelled events (e.g. retry timers ACKed
+        # before firing) must not stop the clock short of ``until``.
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        ghost = sim.schedule(5.0, lambda: None)
+        ghost.cancel()
+        sim.run(until=10.0)
+        assert sim.now == 10.0
+
+    def test_cancelled_events_not_counted_as_processed(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None).cancel()
+        sim.run()
+        assert sim.processed_events == 1
+
 
 class TestChannel:
     def setup_method(self):
