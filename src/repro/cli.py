@@ -8,6 +8,9 @@ Commands:
 * ``deploy``    — the client/server deployment simulation
 * ``export``    — run a guided campaign and export the floor plan
                    (PGM + JSON)
+* ``trace``     — run the deployment with telemetry enabled and dump
+                   ``trace.json`` (Perfetto), ``metrics.json`` and
+                   ``BENCH_pipeline.json``
 """
 
 from __future__ import annotations
@@ -96,6 +99,46 @@ def cmd_deploy(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    from .obs import Telemetry
+    from .obs.bench import write_bench_pipeline
+    from .obs.export import write_chrome_trace, write_metrics_json
+    from .server import Deployment
+
+    bench = _make_bench(args.seed)
+    telemetry = Telemetry.enable()
+    deployment = Deployment(bench, n_clients=args.clients, telemetry=telemetry)
+    report = deployment.run(until_s=args.until)
+    out = pathlib.Path(args.output)
+    out.mkdir(parents=True, exist_ok=True)
+    trace_path = write_chrome_trace(
+        telemetry.tracer, out / "trace.json", metrics=telemetry.metrics
+    )
+    metrics_path = write_metrics_json(telemetry.metrics, out / "metrics.json")
+    bench_path = write_bench_pipeline(
+        out / "BENCH_pipeline.json",
+        telemetry.metrics,
+        campaign={
+            "command": "trace",
+            "seed": args.seed,
+            "clients": args.clients,
+            "until_s": args.until,
+            "sim_time_s": report.sim_time_s,
+            "events_processed": report.events_processed,
+            "tasks_completed": report.tasks_completed,
+            "venue_covered": report.venue_covered,
+        },
+    )
+    tracer = telemetry.tracer
+    print(f"simulated {report.sim_time_s:.0f} s, {report.events_processed} events, "
+          f"{report.tasks_completed} tasks")
+    print(f"spans recorded: {tracer.finished_count} (dropped: {tracer.dropped_spans})")
+    print(f"wrote {trace_path} (load it at https://ui.perfetto.dev)")
+    print(f"wrote {metrics_path}")
+    print(f"wrote {bench_path}")
+    return 0
+
+
 def cmd_export(args: argparse.Namespace) -> int:
     from .eval import run_guided_experiment
     from .mapping.export import floorplan_to_json, floorplan_to_pgm
@@ -140,6 +183,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_export = sub.add_parser("export", help="export the floor plan (PGM + JSON)")
     p_export.add_argument("--max-tasks", type=int, default=120)
     p_export.add_argument("--output", default="floorplan-out")
+
+    p_trace = sub.add_parser(
+        "trace", help="run the deployment with telemetry on; dump trace + metrics"
+    )
+    p_trace.add_argument("--clients", type=int, default=3)
+    p_trace.add_argument("--until", type=float, default=20_000.0)
+    p_trace.add_argument("--output", default="obs-out")
     return parser
 
 
@@ -149,6 +199,7 @@ _COMMANDS = {
     "compare": cmd_compare,
     "deploy": cmd_deploy,
     "export": cmd_export,
+    "trace": cmd_trace,
 }
 
 

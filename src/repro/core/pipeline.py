@@ -25,6 +25,7 @@ attempt counters that drive annotation-task escalation.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..camera.photo import Photo
@@ -37,6 +38,7 @@ from ..mapping import (
     IncrementalMapEngine,
     MapUpdate,
 )
+from ..obs import NULL_TELEMETRY, Telemetry
 from ..sfm import IncrementalSfm, RegistrationReport, SfmModel, sor_filter
 from ..simkit.rng import RngStream
 from ..venue.features import FeatureWorld
@@ -81,13 +83,28 @@ class SnapTaskPipeline:
         rng: RngStream,
         site_mask=None,
         full_rebuild: bool = False,
+        telemetry: Optional[Telemetry] = None,
     ):
         self._world = world
         self._config = config
         self._spec = spec
         self._initial_position = initial_position
         self._site_mask = site_mask
-        self._sfm = IncrementalSfm(world, config.sfm, rng.child("sfm"))
+        obs = telemetry if telemetry is not None else NULL_TELEMETRY
+        self._tracer = obs.tracer
+        metrics = obs.metrics
+        # Wall-time phase histograms (seconds); BENCH_pipeline.json is
+        # derived from exactly these names (repro.obs.bench.PHASE_PREFIX).
+        self._obs_on = bool(self._tracer.enabled or metrics.enabled)
+        self._h_phase = {
+            name: metrics.histogram(f"repro.pipeline.phase.{name}")
+            for name in ("registration", "map_merge", "unvisited", "task_gen", "total")
+        }
+        self._m_batches = metrics.counter("repro.pipeline.batches")
+        self._m_tasks_generated = metrics.counter("repro.pipeline.tasks_generated")
+        self._sfm = IncrementalSfm(
+            world, config.sfm, rng.child("sfm"), telemetry=obs
+        )
         # Incremental map maintenance (DESIGN.md §5): obstacles, visibility
         # and coverage are updated by delta instead of rebuilt per batch.
         # ``full_rebuild=True`` is the escape hatch that forces from-scratch
@@ -98,6 +115,7 @@ class SnapTaskPipeline:
             obstacle_threshold=config.tasks.obstacle_threshold,
             max_range_m=config.sfm.visibility_range_m,
             site_mask=site_mask,
+            telemetry=obs,
         )
         self._factory = TaskFactory()
         self._iteration = 0
@@ -173,7 +191,10 @@ class SnapTaskPipeline:
             raise TaskGenerationError("empty photo batch")
         self._iteration += 1
         previous_coverage = self._coverage_cells
+        obs_on = self._obs_on
+        t_total = perf_counter() if obs_on else 0.0
 
+        t0 = t_total
         report = self._sfm.add_photos(photos)  # line 1
         model = self._sfm.model()
         filtered_cloud = sor_filter(  # line 2
@@ -181,6 +202,9 @@ class SnapTaskPipeline:
             self._config.sfm.sor_neighbors,
             self._config.sfm.sor_std_ratio,
         )
+        if obs_on:
+            self._phase("registration", t0, photos=len(photos))
+            t0 = perf_counter()
         # Lines 3-5 via the incremental engine: the SfM deltas (new points
         # + new cameras, see ``report``) plus SOR churn dirty only a small
         # region of the maps; everything else is reused from the previous
@@ -194,6 +218,11 @@ class SnapTaskPipeline:
         visibility = map_update.maps.visibility  # line 4
         maps = map_update.maps
         coverage = map_update.covered_cells  # line 5
+        if obs_on:
+            self._phase(
+                "map_merge", t0, dirty_cells=map_update.dirty_obstacle_cells
+            )
+            t0 = perf_counter()
 
         photos_added = report.any_registered
         quality: Optional[QualityReport] = None
@@ -282,6 +311,13 @@ class SnapTaskPipeline:
                                 for area in found
                             ]
 
+        if obs_on:
+            # task_gen covers the whole line 6-20 decision (the nested
+            # flood-fill time is also reported separately as "unvisited").
+            self._phase("task_gen", t0, tasks=len(tasks))
+            self._phase("total", t_total)
+            self._m_batches.inc()
+            self._m_tasks_generated.inc(len(tasks))
         self._coverage_cells = coverage
         self._maps = maps
         outcome = BatchOutcome(
@@ -301,11 +337,25 @@ class SnapTaskPipeline:
         self._history.append(outcome)
         return outcome
 
+    def _phase(self, name: str, t0: float, **attrs) -> None:
+        """Close one wall-time phase: histogram record + instant span."""
+        dt = perf_counter() - t0
+        self._h_phase[name].record(dt)
+        if self._tracer.enabled:
+            self._tracer.instant(
+                f"pipeline.{name}",
+                category="pipeline",
+                iteration=self._iteration,
+                wall_phase_ms=dt * 1e3,
+                **attrs,
+            )
+
     def _find_next_areas(self, obstacles, visibility):
         """findUnvisited with the site and write-off masks applied.
 
         Returns (areas, venue_covered).
         """
+        t0 = perf_counter() if self._obs_on else 0.0
         mask = ~self._written_off
         if self._site_mask is not None:
             mask = mask & self._site_mask
@@ -320,6 +370,8 @@ class SnapTaskPipeline:
             expansion_cap_cells=self._config.min_area_cells
             * self._config.tasks.area_expansion_factor,
         )
+        if self._obs_on:
+            self._phase("unvisited", t0, areas=len(found))
         return found, not found
 
     def _write_off(self, obstacles, visibility, location: Vec2) -> None:

@@ -58,3 +58,7 @@ class LeaseError(ProtocolError):
 
 class ConfigError(ReproError):
     """A configuration value is out of its documented range."""
+
+
+class ObservabilityError(ReproError):
+    """Telemetry misuse (metric type clash, bad span lifecycle, bad export)."""

@@ -57,7 +57,9 @@ class Workbench:
         """The paper's evaluation venue."""
         return Workbench(build_library(), config)
 
-    def make_pipeline(self, use_site_mask: bool = True) -> SnapTaskPipeline:
+    def make_pipeline(
+        self, use_site_mask: bool = True, telemetry=None
+    ) -> SnapTaskPipeline:
         """A fresh SnapTask backend pipeline for this venue."""
         self._pipeline_counter += 1
         return SnapTaskPipeline(
@@ -67,6 +69,7 @@ class Workbench:
             self.venue.entrance,
             self.rng.stream(f"pipeline-{self._pipeline_counter}"),
             site_mask=self.ground_truth.region_mask if use_site_mask else None,
+            telemetry=telemetry,
         )
 
     def make_navigator(self, name: str = "nav") -> Navigator:

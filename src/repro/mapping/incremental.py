@@ -42,6 +42,7 @@ import numpy as np
 
 from ..errors import MappingError
 from ..geometry import Vec2
+from ..obs import NULL_TELEMETRY, Telemetry
 from ..sfm.model import RecoveredCamera, SfmModel
 from ..sfm.pointcloud import PointCloud
 from .coverage import CoverageMaps
@@ -111,9 +112,21 @@ class IncrementalMapEngine:
         z_max: float = DEFAULT_Z_MAX,
         site_mask: Optional[np.ndarray] = None,
         information_clipping: bool = True,
+        telemetry: Optional[Telemetry] = None,
     ):
         if obstacle_threshold <= 0:
             raise MappingError("obstacle threshold must be positive")
+        obs = telemetry if telemetry is not None else NULL_TELEMETRY
+        metrics = obs.metrics
+        # Delta-size distributions + FOV-wedge cache effectiveness
+        # (the two numbers DESIGN.md §5 argues about).
+        self._m_updates = metrics.counter("repro.map.updates")
+        self._m_cache_hits = metrics.counter("repro.map.fov_cache_hits")
+        self._m_cache_misses = metrics.counter("repro.map.fov_cache_misses")
+        self._h_dirty = metrics.histogram(
+            "repro.map.dirty_columns", base=1.0, growth=2.0
+        )
+        self._g_covered = metrics.gauge("repro.map.covered_cells")
         self._spec = spec
         self._threshold = int(obstacle_threshold)
         self._max_range = float(max_range_m)
@@ -180,6 +193,11 @@ class IncrementalMapEngine:
         )
         self._update_coverage(mask_changed)
 
+        self._m_updates.inc()
+        self._m_cache_hits.inc(reused)
+        self._m_cache_misses.inc(refreshed + n_new)
+        self._h_dirty.record(len(dirty_cols))
+        self._g_covered.set(self._covered_cells)
         return MapUpdate(
             maps=self.maps(),
             covered_cells=self._covered_cells,

@@ -1,0 +1,125 @@
+"""``BENCH_pipeline.json``: machine-readable per-phase pipeline timings.
+
+The benchmark harness historically wrote human-readable ``.txt`` rows to
+``benchmarks/results/``; this writer adds the machine-readable artefact
+the perf trajectory accumulates over: one JSON document per run with the
+Algorithm-1 phase timings (registration, map merge, unvisited flood-fill,
+task generation) pulled from the ``repro.pipeline.phase.*`` histograms,
+campaign-level facts, and the full metrics snapshot.
+
+The schema is validated in-repo (:func:`validate_bench_pipeline`) — no
+jsonschema dependency — and enforced by CI on every generated document.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import pathlib
+from typing import Dict, List, Optional, Union
+
+from ..errors import ObservabilityError
+
+PathLike = Union[str, pathlib.Path]
+
+BENCH_PIPELINE_SCHEMA = "repro.bench.pipeline/v1"
+
+#: Histogram-name prefix the phase table is derived from.
+PHASE_PREFIX = "repro.pipeline.phase."
+
+
+def _phase_rows(registry) -> Dict[str, dict]:
+    phases: Dict[str, dict] = {}
+    for name in registry.names():
+        if not name.startswith(PHASE_PREFIX):
+            continue
+        hist = registry.get(name)
+        if hist is None or not hasattr(hist, "quantile"):
+            continue
+        phases[name[len(PHASE_PREFIX):]] = {
+            "count": hist.count,
+            "total_s": round(hist.total, 9),
+            "mean_s": round(hist.mean, 9),
+            "p50_s": round(hist.quantile(0.5), 9),
+            "max_s": round(hist.max if hist.max is not None else 0.0, 9),
+        }
+    return phases
+
+
+def bench_pipeline_document(registry, campaign: Optional[dict] = None) -> dict:
+    """Build the ``BENCH_pipeline.json`` document from a live registry."""
+    return {
+        "schema": BENCH_PIPELINE_SCHEMA,
+        "generated_at": datetime.datetime.now(datetime.timezone.utc).isoformat(),
+        "campaign": dict(campaign or {}),
+        "phases": _phase_rows(registry),
+        "metrics": registry.snapshot(),
+    }
+
+
+def write_bench_pipeline(
+    path: PathLike, registry, campaign: Optional[dict] = None
+) -> pathlib.Path:
+    doc = bench_pipeline_document(registry, campaign)
+    assert_valid_bench_pipeline(doc)
+    path = pathlib.Path(path)
+    path.write_text(json.dumps(doc, indent=2) + "\n")
+    return path
+
+
+_PHASE_FIELDS = ("count", "total_s", "mean_s", "p50_s", "max_s")
+
+
+def validate_bench_pipeline(doc) -> List[str]:
+    """Return a list of schema violations (empty == valid)."""
+    problems: List[str] = []
+    if not isinstance(doc, dict):
+        return ["document is not an object"]
+    if doc.get("schema") != BENCH_PIPELINE_SCHEMA:
+        problems.append(
+            f"schema is {doc.get('schema')!r}, expected {BENCH_PIPELINE_SCHEMA!r}"
+        )
+    if not isinstance(doc.get("generated_at"), str):
+        problems.append("generated_at missing or not a string")
+    if not isinstance(doc.get("campaign"), dict):
+        problems.append("campaign missing or not an object")
+    phases = doc.get("phases")
+    if not isinstance(phases, dict):
+        problems.append("phases missing or not an object")
+    else:
+        for phase, row in phases.items():
+            if not isinstance(row, dict):
+                problems.append(f"phase {phase!r} is not an object")
+                continue
+            for field in _PHASE_FIELDS:
+                value = row.get(field)
+                if not isinstance(value, (int, float)) or isinstance(value, bool):
+                    problems.append(f"phase {phase!r} field {field!r} not numeric")
+            count = row.get("count")
+            if isinstance(count, (int, float)) and count < 0:
+                problems.append(f"phase {phase!r} has negative count")
+    metrics = doc.get("metrics")
+    if not isinstance(metrics, dict):
+        problems.append("metrics missing or not an object")
+    else:
+        for name, snap in metrics.items():
+            if not isinstance(snap, dict) or snap.get("type") not in (
+                "counter", "gauge", "histogram",
+            ):
+                problems.append(f"metric {name!r} has no valid type")
+    return problems
+
+
+def assert_valid_bench_pipeline(doc) -> None:
+    problems = validate_bench_pipeline(doc)
+    if problems:
+        raise ObservabilityError(
+            "invalid BENCH_pipeline document: " + "; ".join(problems[:10])
+        )
+
+
+def load_and_validate(path: PathLike) -> dict:
+    """CI helper: load ``path``, validate, return the document."""
+    doc = json.loads(pathlib.Path(path).read_text())
+    assert_valid_bench_pipeline(doc)
+    return doc

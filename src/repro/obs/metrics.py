@@ -1,0 +1,355 @@
+"""Always-on metrics: counters, gauges, and log-bucketed histograms.
+
+The registry is designed around two constraints:
+
+* **Cheap enough to leave on.** A counter increment is one attribute add;
+  a histogram record is one log + one dict add. Instrumented modules
+  resolve their metric handles *once* (at construction), so the hot path
+  never touches the registry or hashes a metric name.
+* **Free when off.** :data:`NULL_REGISTRY` hands out shared no-op
+  instruments; the disabled cost of an instrumented call site is a
+  single bound-method call on a singleton (and ``registry.enabled`` is a
+  plain class attribute for sites that want to skip argument
+  construction entirely).
+
+Naming convention (see DESIGN.md "Observability"): every metric is
+``repro.<layer>.<name>`` — e.g. ``repro.sim.events.cancelled``,
+``repro.pipeline.phase.registration``. Phase histograms record seconds.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..errors import ObservabilityError
+
+Number = Union[int, float]
+
+_NAME_RE = re.compile(r"^[a-z0-9_.]+$")
+
+
+def _check_name(name: str) -> str:
+    if not _NAME_RE.match(name):
+        raise ObservabilityError(
+            f"metric name {name!r} violates the [a-z0-9_.] convention"
+        )
+    return name
+
+
+class Counter:
+    """Monotonically increasing value (float increments allowed: MB, etc.)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: Number = 0
+
+    def inc(self, n: Number = 1) -> None:
+        self.value += n
+
+    def snapshot(self) -> dict:
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """Last-set value with a high-watermark (queue depths, cache sizes)."""
+
+    __slots__ = ("name", "value", "max_value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: Number = 0
+        self.max_value: Number = 0
+
+    def set(self, v: Number) -> None:
+        self.value = v
+        if v > self.max_value:
+            self.max_value = v
+
+    def inc(self, n: Number = 1) -> None:
+        self.set(self.value + n)
+
+    def dec(self, n: Number = 1) -> None:
+        self.value -= n
+
+    def snapshot(self) -> dict:
+        return {"type": "gauge", "value": self.value, "max": self.max_value}
+
+
+class Histogram:
+    """Log-bucketed histogram (sparse; geometric bucket edges).
+
+    Bucket ``k`` (``k >= 0``) holds values in ``(edge(k-1), edge(k)]``
+    where ``edge(k) = base * growth**k`` — so bucket 0 is ``(0, base]``.
+    Values ``<= 0`` land in a dedicated ``zeros`` bucket, values above
+    ``edge(max_buckets - 1)`` clamp into the last (overflow) bucket.
+    Edges are resolved exactly (a value equal to ``edge(k)`` is in bucket
+    ``k``, never ``k + 1``), which the bucket-edge tests pin down.
+    """
+
+    __slots__ = (
+        "name", "base", "growth", "max_buckets",
+        "count", "total", "zeros", "min", "max", "_counts", "_log_growth",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        base: float = 1e-4,
+        growth: float = 2.0,
+        max_buckets: int = 64,
+    ):
+        if base <= 0 or growth <= 1.0 or max_buckets < 1:
+            raise ObservabilityError(
+                f"histogram {name!r}: need base > 0, growth > 1, max_buckets >= 1"
+            )
+        self.name = name
+        self.base = float(base)
+        self.growth = float(growth)
+        self.max_buckets = int(max_buckets)
+        self.count = 0
+        self.total = 0.0
+        self.zeros = 0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self._counts: Dict[int, int] = {}
+        self._log_growth = math.log(self.growth)
+
+    # -- recording ---------------------------------------------------------
+
+    def record(self, v: Number) -> None:
+        v = float(v)
+        self.count += 1
+        self.total += v
+        if self.min is None or v < self.min:
+            self.min = v
+        if self.max is None or v > self.max:
+            self.max = v
+        idx = self.bucket_index(v)
+        if idx < 0:
+            self.zeros += 1
+        else:
+            self._counts[idx] = self._counts.get(idx, 0) + 1
+
+    def bucket_index(self, v: float) -> int:
+        """Bucket of ``v`` (-1 for the zeros bucket). Exact at edges."""
+        if v <= 0.0:
+            return -1
+        # Float log is within one bucket of the truth; fix up exactly.
+        idx = int(math.ceil(math.log(v / self.base) / self._log_growth - 1e-9))
+        if idx < 0:
+            idx = 0
+        while idx > 0 and v <= self.bucket_edge(idx - 1):
+            idx -= 1
+        while v > self.bucket_edge(idx):
+            idx += 1
+        return min(idx, self.max_buckets - 1)
+
+    def bucket_edge(self, k: int) -> float:
+        """Inclusive upper edge of bucket ``k``."""
+        return self.base * self.growth ** k
+
+    # -- reading -----------------------------------------------------------
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def bucket_counts(self) -> List[Tuple[float, int]]:
+        """Sorted ``(upper_edge, count)`` pairs for occupied buckets."""
+        return [
+            (self.bucket_edge(k), self._counts[k]) for k in sorted(self._counts)
+        ]
+
+    def quantile(self, q: float) -> float:
+        """Approximate quantile: the upper edge of the bucket holding it.
+
+        Exact observed extremes are used for q=0/q=1; the zeros bucket
+        reports 0.0.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ObservabilityError(f"quantile {q} outside [0, 1]")
+        if self.count == 0:
+            return 0.0
+        if q <= 0.0:
+            return self.min if self.min is not None else 0.0
+        if q >= 1.0:
+            return self.max if self.max is not None else 0.0
+        target = q * self.count
+        seen = float(self.zeros)
+        if seen >= target:
+            return 0.0
+        for k in sorted(self._counts):
+            seen += self._counts[k]
+            if seen >= target:
+                return min(self.bucket_edge(k), self.max)
+        return self.max if self.max is not None else 0.0
+
+    def snapshot(self) -> dict:
+        return {
+            "type": "histogram",
+            "count": self.count,
+            "sum": self.total,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+            "zeros": self.zeros,
+            "p50": self.quantile(0.5),
+            "p95": self.quantile(0.95),
+            "buckets": [
+                {"le": edge, "count": n} for edge, n in self.bucket_counts()
+            ],
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create registry of named instruments.
+
+    Instruments are keyed by name; asking twice returns the same object,
+    so modules can resolve handles at construction and share instruments
+    across instances (e.g. every :class:`Channel` increments the same
+    ``repro.net.dropped`` counter).
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._instruments: Dict[str, object] = {}
+
+    def _get(self, name: str, cls, *args):
+        existing = self._instruments.get(name)
+        if existing is not None:
+            if not isinstance(existing, cls):
+                raise ObservabilityError(
+                    f"metric {name!r} already registered as "
+                    f"{type(existing).__name__}, requested {cls.__name__}"
+                )
+            return existing
+        instrument = cls(_check_name(name), *args)
+        self._instruments[name] = instrument
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(
+        self,
+        name: str,
+        base: float = 1e-4,
+        growth: float = 2.0,
+        max_buckets: int = 64,
+    ) -> Histogram:
+        return self._get(name, Histogram, base, growth, max_buckets)
+
+    def names(self) -> List[str]:
+        return sorted(self._instruments)
+
+    def get(self, name: str):
+        """The instrument registered under ``name`` (or None)."""
+        return self._instruments.get(name)
+
+    def snapshot(self) -> Dict[str, dict]:
+        """Flat JSON-able view of every instrument, sorted by name."""
+        return {
+            name: self._instruments[name].snapshot()
+            for name in sorted(self._instruments)
+        }
+
+
+# -- disabled fast path --------------------------------------------------------
+
+
+class NullCounter:
+    __slots__ = ()
+    name = "null"
+    value = 0
+
+    def inc(self, n: Number = 1) -> None:
+        pass
+
+    def snapshot(self) -> dict:
+        return {"type": "counter", "value": 0}
+
+
+class NullGauge:
+    __slots__ = ()
+    name = "null"
+    value = 0
+    max_value = 0
+
+    def set(self, v: Number) -> None:
+        pass
+
+    def inc(self, n: Number = 1) -> None:
+        pass
+
+    def dec(self, n: Number = 1) -> None:
+        pass
+
+    def snapshot(self) -> dict:
+        return {"type": "gauge", "value": 0, "max": 0}
+
+
+class NullHistogram:
+    __slots__ = ()
+    name = "null"
+    count = 0
+    total = 0.0
+    zeros = 0
+    min = None
+    max = None
+    mean = 0.0
+
+    def record(self, v: Number) -> None:
+        pass
+
+    def bucket_counts(self) -> List[Tuple[float, int]]:
+        return []
+
+    def quantile(self, q: float) -> float:
+        return 0.0
+
+    def snapshot(self) -> dict:
+        return {
+            "type": "histogram", "count": 0, "sum": 0.0, "mean": 0.0,
+            "min": None, "max": None, "zeros": 0, "p50": 0.0, "p95": 0.0,
+            "buckets": [],
+        }
+
+
+_NULL_COUNTER = NullCounter()
+_NULL_GAUGE = NullGauge()
+_NULL_HISTOGRAM = NullHistogram()
+
+
+class NullRegistry:
+    """Disabled registry: every lookup returns a shared no-op instrument."""
+
+    enabled = False
+
+    def counter(self, name: str) -> NullCounter:
+        return _NULL_COUNTER
+
+    def gauge(self, name: str) -> NullGauge:
+        return _NULL_GAUGE
+
+    def histogram(self, name: str, *_args, **_kwargs) -> NullHistogram:
+        return _NULL_HISTOGRAM
+
+    def names(self) -> List[str]:
+        return []
+
+    def get(self, name: str):
+        return None
+
+    def snapshot(self) -> Dict[str, dict]:
+        return {}
+
+
+NULL_REGISTRY = NullRegistry()

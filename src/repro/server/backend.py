@@ -70,6 +70,24 @@ class BackendServer:
         self._batch_ledger: Dict[str, Optional[ProcessingResult]] = {}
         #: task_id -> pending lease-expiry event.
         self._lease_reaps: Dict[int, EventToken] = {}
+        # Telemetry (shared with everything on this event loop).
+        obs = simulator.telemetry
+        self._tracer = obs.tracer
+        metrics = obs.metrics
+        self._m_requests = metrics.counter("repro.server.task_requests")
+        self._m_requests_deduped = metrics.counter("repro.server.requests_deduped")
+        self._m_batches = metrics.counter("repro.server.photo_batches")
+        self._m_batches_deduped = metrics.counter("repro.server.batches_deduped")
+        self._m_empty_rejected = metrics.counter("repro.server.empty_batches_rejected")
+        self._m_leases_granted = metrics.counter("repro.server.leases_granted")
+        self._m_leases_expired = metrics.counter("repro.server.leases_expired")
+        self._m_tasks_requeued = metrics.counter("repro.server.tasks_requeued")
+        self._h_process = metrics.histogram(
+            "repro.server.process_batch_s", base=0.1, growth=2.0
+        )
+        self._g_queue = metrics.gauge("repro.server.task_queue_depth")
+        #: task_id -> open lease span (request -> upload ACK / expiry).
+        self._lease_spans: Dict[int, object] = {}
 
     @property
     def store(self) -> BackendStore:
@@ -104,11 +122,19 @@ class BackendServer:
         (network-level copy or client retransmission) is answered with
         the original assignment instead of leaking a second lease.
         """
+        self._m_requests.inc()
         rid = request.request_id
         if rid is not None and rid in self._request_ledger:
             self._store.bump("requests_deduped")
+            self._m_requests_deduped.inc()
             return self._request_ledger[rid]
-        assignment = self._next_assignment(request)
+        with self._tracer.span(
+            "server.task_request", category="server", client=request.client_id
+        ) as span:
+            assignment = self._next_assignment(request)
+            span.set_attr("assigned", assignment.task is not None)
+            if assignment.task is not None:
+                span.set_attr("task_id", assignment.task.task_id)
         if rid is not None:
             self._request_ledger[rid] = assignment
         return assignment
@@ -138,6 +164,18 @@ class BackendServer:
             expires_at=expires_at,
         )
         self._schedule_lease_reap(task.task_id, expires_at)
+        self._m_leases_granted.inc()
+        self._g_queue.set(len(self._task_queue))
+        if self._tracer.enabled:
+            # Open span surviving every event hop until the upload ACK
+            # (or the reaper) closes it — the task's whole server life.
+            self._lease_spans[task.task_id] = self._tracer.begin(
+                "server.task_lease",
+                category="server",
+                task_id=task.task_id,
+                client=request.client_id,
+                expires_at=expires_at,
+            )
         return TaskAssignment(
             client_id=request.client_id,
             task=assigned,
@@ -174,10 +212,12 @@ class BackendServer:
         dropped, duplicates of a finished batch are re-ACKed from the
         ledger — the pipeline never processes the same batch twice.
         """
+        self._m_batches.inc()
         bid = batch.batch_id
         if bid is not None:
             if bid in self._batch_ledger:
                 self._store.bump("batches_deduped")
+                self._m_batches_deduped.inc()
                 prior = self._batch_ledger[bid]
                 if prior is not None and on_done is not None:
                     on_done(prior)  # replay the lost/raced ACK
@@ -187,6 +227,7 @@ class BackendServer:
             # A remote client's malformed upload must not crash the event
             # loop: reply with a failure result and requeue the task.
             self._store.bump("empty_batches_rejected")
+            self._m_empty_rejected.inc()
             result = ProcessingResult(
                 client_id=batch.client_id,
                 task_id=batch.task_id,
@@ -205,9 +246,10 @@ class BackendServer:
                 on_done(result)
             return
         delay = PROCESSING_S_PER_PHOTO * len(batch.photos)
+        arrived_at = self._sim.now
         self._sim.schedule(
             delay,
-            lambda: self._process(batch, on_done),
+            lambda: self._process(batch, on_done, arrived_at),
             label=f"process-batch:{batch.client_id}",
         )
 
@@ -249,9 +291,12 @@ class BackendServer:
         requeued = self._store.expire_lease(task_id, now=self._sim.now)
         if requeued is None:
             return False
+        self._m_leases_expired.inc()
+        self._end_lease_span(task_id, "expired")
         # Abandoned work goes to the front: it blocks campaign progress
         # (MAX_TASKS=1 keeps the task stream serial), so retry it first.
         self._task_queue.appendleft(requeued)
+        self._g_queue.set(len(self._task_queue))
         return True
 
     def _release_lease(self, task_id: int) -> None:
@@ -259,6 +304,12 @@ class BackendServer:
         if token is not None:
             token.cancel()
         self._store.release_lease(task_id)
+        self._end_lease_span(task_id, "released")
+
+    def _end_lease_span(self, task_id: int, outcome: str) -> None:
+        span = self._lease_spans.pop(task_id, None)
+        if span is not None:
+            span.end(outcome=outcome)
 
     def _requeue_task(self, task_id: int) -> None:
         """Hand a leased task straight back to the queue (failed upload)."""
@@ -269,7 +320,9 @@ class BackendServer:
         pending = replace(task, status=TaskStatus.PENDING)
         self._store.record_task(pending)
         self._store.bump("tasks_requeued")
+        self._m_tasks_requeued.inc()
         self._task_queue.appendleft(pending)
+        self._g_queue.set(len(self._task_queue))
 
     # -- internals --------------------------------------------------------------------
 
@@ -277,7 +330,19 @@ class BackendServer:
         self,
         batch: PhotoBatch,
         on_done: Optional[Callable[[ProcessingResult], None]],
+        arrived_at: Optional[float] = None,
     ) -> None:
+        t0 = arrived_at if arrived_at is not None else self._sim.now
+        span = None
+        if self._tracer.enabled:
+            span = self._tracer.begin(
+                "server.process_batch",
+                category="server",
+                client=batch.client_id,
+                photos=len(batch.photos),
+                batch_id=batch.batch_id,
+            )
+            span.start_sim_s = t0  # covers queueing + simulated SfM time
         task = self._store.maybe_task(batch.task_id) if batch.task_id is not None else None
         photos = list(batch.photos)
         if (
@@ -328,5 +393,12 @@ class BackendServer:
         if batch.batch_id is not None:
             self._batch_ledger[batch.batch_id] = result
         self._result_log.append(result)
+        self._h_process.record(self._sim.now - t0)
+        if span is not None:
+            span.end(
+                photos_added=outcome.photos_added,
+                coverage_cells=outcome.coverage_cells,
+                new_tasks=len(outcome.new_tasks),
+            )
         if on_done is not None:
             on_done(result)

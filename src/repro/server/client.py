@@ -116,6 +116,20 @@ class MobileClient:
         self._upload_rto: Optional[EventToken] = None
         self._acked_batches: set = set()
         self.stats = ClientStats()
+        # Telemetry (shared bundle from the simulator; no-op by default).
+        obs = simulator.telemetry
+        self._tracer = obs.tracer
+        metrics = obs.metrics
+        self._m_retries = metrics.counter("repro.client.retries")
+        self._m_requests_abandoned = metrics.counter("repro.client.requests_abandoned")
+        self._m_uploads_abandoned = metrics.counter("repro.client.uploads_abandoned")
+        self._m_stale = metrics.counter("repro.client.stale_responses")
+        self._m_dup_results = metrics.counter("repro.client.duplicate_results")
+        self._m_photos = metrics.counter("repro.client.photos_uploaded")
+        self._h_walk = metrics.histogram("repro.client.walk_s", base=1.0, growth=2.0)
+        #: Open exchange spans (request -> assignment, upload -> ACK).
+        self._request_span = None
+        self._upload_span = None
 
     @property
     def client_id(self) -> str:
@@ -139,6 +153,8 @@ class MobileClient:
     def stop(self) -> None:
         self._active = False
         self._cancel_timers()
+        self._end_span("_request_span", outcome="stopped")
+        self._end_span("_upload_span", outcome="stopped")
 
     def drop_out(self) -> None:
         """The participant abandons the campaign mid-task.
@@ -151,6 +167,8 @@ class MobileClient:
         self._active = False
         self.stats.dropped_out = True
         self._cancel_timers()
+        self._end_span("_request_span", outcome="dropped")
+        self._end_span("_upload_span", outcome="dropped")
         self._pending_request_id = None
         self._pending_batch = None
 
@@ -161,6 +179,14 @@ class MobileClient:
             return
         self._pending_request_id = f"{self._client_id}:req-{next(self._request_seq)}"
         self._request_attempt = 0
+        if self._tracer.enabled:
+            self._end_span("_request_span", outcome="superseded")
+            self._request_span = self._tracer.begin(
+                "client.request",
+                category="client",
+                client=self._client_id,
+                request_id=self._pending_request_id,
+            )
         self._send_task_request()
 
     def _send_task_request(self) -> None:
@@ -188,6 +214,8 @@ class MobileClient:
         if self._request_attempt >= self._protocol.max_retries:
             # Give up on this exchange; start a fresh one after a poll wait.
             self.stats.requests_abandoned += 1
+            self._m_requests_abandoned.inc()
+            self._end_span("_request_span", outcome="abandoned")
             self._pending_request_id = None
             self._sim.schedule(
                 POLL_INTERVAL_S, self._request_task, label=f"{self._client_id}:poll"
@@ -195,6 +223,7 @@ class MobileClient:
             return
         self._request_attempt += 1
         self.stats.retries += 1
+        self._m_retries.inc()
         self._send_task_request()
 
     def _on_assignment(self, assignment: TaskAssignment) -> None:
@@ -207,6 +236,7 @@ class MobileClient:
             # Duplicate or reordered response to an exchange we already
             # settled; the backend's request ledger kept it idempotent.
             self.stats.stale_responses += 1
+            self._m_stale.inc()
             return
         if self._request_rto is not None:
             self._request_rto.cancel()
@@ -214,14 +244,19 @@ class MobileClient:
         self._pending_request_id = None
         if assignment.task is None:
             if assignment.venue_covered:
+                self._end_span("_request_span", outcome="covered")
                 self._active = False
                 self._cancel_timers()
                 return
             # Nothing to do right now; poll again shortly.
+            self._end_span("_request_span", outcome="empty")
             self._sim.schedule(
                 POLL_INTERVAL_S, self._request_task, label=f"{self._client_id}:poll"
             )
             return
+        self._end_span(
+            "_request_span", outcome="assigned", task_id=assignment.task.task_id
+        )
         self._execute(assignment.task)
 
     def _execute(self, task: Task) -> None:
@@ -237,6 +272,7 @@ class MobileClient:
         nav = self._navigator.navigate(start, task.location)
         self._position = nav.arrived
         self.stats.walk_time_s += nav.walk_time_s
+        self._h_walk.record(nav.walk_time_s)
 
         if task.kind == TaskKind.PHOTO_COLLECTION:
             photos = list(
@@ -267,6 +303,20 @@ class MobileClient:
             batch_id=f"{self._client_id}:batch-{next(self._batch_seq)}",
         )
         self.stats.photos_uploaded += len(photos)
+        self._m_photos.inc(len(photos))
+        if self._tracer.enabled:
+            # The walk + sweep occupies a known sim interval; record it as
+            # a pre-timed span (no event-queue interaction).
+            self._tracer.record(
+                "client.capture_walk",
+                self._sim.now,
+                self._sim.now + capture_time,
+                category="client",
+                client=self._client_id,
+                task_id=task.task_id,
+                photos=len(photos),
+                walk_s=nav.walk_time_s,
+            )
         self._sim.schedule(
             capture_time,
             lambda: self._begin_upload(batch),
@@ -304,6 +354,15 @@ class MobileClient:
             return
         self._pending_batch = batch
         self._upload_attempt = 0
+        if self._tracer.enabled:
+            self._end_span("_upload_span", outcome="superseded")
+            self._upload_span = self._tracer.begin(
+                "client.upload",
+                category="client",
+                client=self._client_id,
+                batch_id=batch.batch_id,
+                photos=len(batch.photos),
+            )
         self._transmit_batch()
 
     def _transmit_batch(self) -> None:
@@ -337,6 +396,8 @@ class MobileClient:
             # The network ate every copy; abandon the batch. The lease
             # reaper will requeue the task for someone else.
             self.stats.uploads_abandoned += 1
+            self._m_uploads_abandoned.inc()
+            self._end_span("_upload_span", outcome="abandoned")
             self._pending_batch = None
             self._sim.schedule(
                 POLL_INTERVAL_S, self._request_task, label=f"{self._client_id}:poll"
@@ -344,6 +405,7 @@ class MobileClient:
             return
         self._upload_attempt += 1
         self.stats.retries += 1
+        self._m_retries.inc()
         self._transmit_batch()
 
     def _on_result(self, result: ProcessingResult) -> None:
@@ -353,6 +415,7 @@ class MobileClient:
         if result.batch_id is not None:
             if result.batch_id in self._acked_batches:
                 self.stats.duplicate_results += 1
+                self._m_dup_results.inc()
                 return
             self._acked_batches.add(result.batch_id)
             if (
@@ -363,6 +426,9 @@ class MobileClient:
                     self._upload_rto.cancel()
                     self._upload_rto = None
                 self._pending_batch = None
+                self._end_span(
+                    "_upload_span", outcome="ok" if result.ok else "failed"
+                )
                 advances_loop = True
             # else: a late ACK for a batch we already gave up on — record
             # the outcome but do not fork a second request loop.
@@ -386,3 +452,10 @@ class MobileClient:
                 token.cancel()
         self._request_rto = None
         self._upload_rto = None
+
+    def _end_span(self, attr: str, **outcome_attrs) -> None:
+        """Seal an open exchange span (no-op when tracing is off)."""
+        span = getattr(self, attr)
+        if span is not None:
+            span.end(**outcome_attrs)
+            setattr(self, attr, None)

@@ -32,6 +32,7 @@ from ..crowd.guided import GuidedCampaign
 from ..crowd.participants import guided_participants
 from ..errors import ProtocolError
 from ..nav.localization import ImageLocalizer
+from ..obs import Telemetry
 from ..simkit.events import Simulator
 from ..simkit.network import DuplexLink
 from .backend import BackendServer
@@ -91,16 +92,20 @@ class Deployment:
         faults: Optional[FaultConfig] = None,
         dropouts: Optional[Mapping[str, float]] = None,
         dropout_hazard: float = 0.0,
+        telemetry: Optional[Telemetry] = None,
     ):
         """``bench`` is an :class:`repro.eval.workbench.Workbench`.
 
         ``faults`` overrides ``bench.config.network.faults`` for every
         client link; ``dropouts`` maps client ids to the simulated time
         at which they abandon the campaign; ``dropout_hazard`` gives all
-        participants a per-task abandonment probability.
+        participants a per-task abandonment probability. ``telemetry``
+        (default: disabled) instruments the whole stack — event loop,
+        links, protocol, pipeline — without changing any behaviour.
         """
-        self.simulator = Simulator()
-        self.pipeline = bench.make_pipeline()
+        self.telemetry = telemetry if telemetry is not None else Telemetry.disabled()
+        self.simulator = Simulator(telemetry=self.telemetry)
+        self.pipeline = bench.make_pipeline(telemetry=self.telemetry)
         self.server = BackendServer(
             self.pipeline,
             self.simulator,

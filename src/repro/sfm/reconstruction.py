@@ -34,6 +34,7 @@ from ..camera.pose import CameraPose
 from ..config import SfmConfig
 from ..errors import ReconstructionError
 from ..geometry import Vec2, Vec3
+from ..obs import NULL_TELEMETRY, Telemetry
 from ..simkit.rng import RngStream
 from ..venue.features import ARTIFICIAL_FEATURE_BASE, REFLECTION_FEATURE_BASE, FeatureWorld
 from .matching import MatchIndex
@@ -73,10 +74,25 @@ class IncrementalSfm:
         world: FeatureWorld,
         config: SfmConfig,
         rng: RngStream,
+        telemetry: Optional[Telemetry] = None,
     ):
         self._world = world
         self._config = config
         self._rng = rng
+        obs = telemetry if telemetry is not None else NULL_TELEMETRY
+        metrics = obs.metrics
+        # Per-photo/per-point distributions (DESIGN.md "Observability").
+        self._m_registered = metrics.counter("repro.sfm.photos_registered")
+        self._m_points_new = metrics.counter("repro.sfm.points_triangulated")
+        self._h_overlap = metrics.histogram(
+            "repro.sfm.registration_overlap", base=1.0, growth=2.0
+        )
+        self._h_point_views = metrics.histogram(
+            "repro.sfm.point_views", base=1.0, growth=2.0
+        )
+        self._h_batch_registered = metrics.histogram(
+            "repro.sfm.batch_registered", base=1.0, growth=2.0
+        )
         self._pending = MatchIndex()
         self._photos: Dict[int, Photo] = {}
         self._registered: Dict[int, RecoveredCamera] = {}
@@ -166,6 +182,8 @@ class IncrementalSfm:
         new_camera_ids = tuple(
             sorted(pid for pid in self._registered if pid not in cameras_before)
         )
+        self._m_registered.inc(newly_registered)
+        self._h_batch_registered.record(newly_registered)
         return RegistrationReport(
             batch_size=len(batch),
             newly_registered=newly_registered,
@@ -197,6 +215,7 @@ class IncrementalSfm:
                 overlap = self._compatible_overlap(photo)
                 if self._registrable(photo, overlap):
                     registrable.append(photo)
+                    self._h_overlap.record(overlap)
             for photo in sorted(registrable, key=lambda p: p.photo_id):
                 self._register(photo)
                 registered_count += 1
@@ -367,6 +386,8 @@ class IncrementalSfm:
             if position is None:
                 continue
             noisy = self._noisy_position(fid, position, observers)
+            self._m_points_new.inc()
+            self._h_point_views.record(len(observers))
             self._points[fid] = CloudPoint(
                 feature_id=fid,
                 x=noisy[0],

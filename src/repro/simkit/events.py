@@ -6,6 +6,23 @@ gives those interactions explicit simulated time — upload durations,
 processing delays and task round-trips are all events on one queue — so the
 server/client layer can be tested deterministically and the benchmarks can
 report end-to-end latencies.
+
+Observability (DESIGN.md "Observability"): a :class:`~repro.obs.Telemetry`
+bundle passed at construction instruments the kernel itself —
+
+* every dispatched event becomes a ``sim.event`` span keyed by simulated
+  time (ring-buffered, bounded);
+* **span context propagates across event-queue hops**: :meth:`schedule`
+  captures the ambient span, :meth:`step` re-activates it around the
+  handler, so spans opened inside a handler parent correctly even when
+  the work continues several events later;
+* counters ``repro.sim.events.dispatched`` / ``repro.sim.events.cancelled``
+  and the ``repro.sim.queue.depth`` gauge account for every event — a
+  cancelled event is counted, never silently skipped.
+
+Telemetry is inert: it schedules no events, draws no RNG, and never
+changes ``now``/``processed_events`` — campaign outputs are byte-for-byte
+identical with tracing on or off (pinned by the differential test).
 """
 
 from __future__ import annotations
@@ -13,9 +30,11 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Callable, List, Optional
+from typing import Callable, List, Optional
 
 from ..errors import SimulationError
+from ..obs import NULL_TELEMETRY, Telemetry
+from ..obs.tracing import Tracer
 
 EventHandler = Callable[[], None]
 
@@ -28,6 +47,8 @@ class _ScheduledEvent:
     handler: EventHandler = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
     executed: bool = field(default=False, compare=False)
+    #: Span context captured at schedule time (cross-hop propagation).
+    ctx: Optional[int] = field(default=None, compare=False)
 
 
 class EventToken:
@@ -65,6 +86,10 @@ class EventToken:
         self._event.cancelled = True
 
 
+#: Default ring capacity for the legacy ``enable_tracing`` shim.
+LEGACY_TRACE_CAPACITY = 4096
+
+
 class Simulator:
     """Single-threaded discrete-event loop with deterministic ordering.
 
@@ -72,13 +97,22 @@ class Simulator:
     runs reproducible without relying on handler side effects.
     """
 
-    def __init__(self, start_time: float = 0.0):
+    def __init__(self, start_time: float = 0.0, telemetry: Optional[Telemetry] = None):
         self._now = start_time
         self._queue: List[_ScheduledEvent] = []
         self._sequence = itertools.count()
         self._processed = 0
-        self._trace: List[str] = []
-        self._tracing = False
+        self._obs = telemetry if telemetry is not None else NULL_TELEMETRY
+        self._bind_telemetry()
+
+    def _bind_telemetry(self) -> None:
+        self._tracer = self._obs.tracer
+        if self._tracer.enabled:
+            self._tracer.bind_clock(lambda: self._now)
+        metrics = self._obs.metrics
+        self._m_dispatched = metrics.counter("repro.sim.events.dispatched")
+        self._m_cancelled = metrics.counter("repro.sim.events.cancelled")
+        self._g_depth = metrics.gauge("repro.sim.queue.depth")
 
     @property
     def now(self) -> float:
@@ -89,16 +123,53 @@ class Simulator:
     def processed_events(self) -> int:
         return self._processed
 
-    def enable_tracing(self) -> None:
-        """Record executed event labels (for tests and debugging)."""
-        self._tracing = True
+    @property
+    def telemetry(self) -> Telemetry:
+        """The telemetry bundle shared by everything on this event loop."""
+        return self._obs
+
+    @property
+    def tracer(self):
+        return self._obs.tracer
+
+    @property
+    def metrics(self):
+        return self._obs.metrics
+
+    def enable_tracing(self, capacity: int = LEGACY_TRACE_CAPACITY) -> None:
+        """Record executed event labels (deprecated shim).
+
+        .. deprecated:: PR 3
+            Construct the simulator with ``Telemetry.enable()`` and read
+            structured ``sim.event`` spans from ``sim.tracer`` instead.
+            This shim installs a real tracer whose span ring is bounded
+            at ``capacity`` (the old ``List[str]`` grew without bound).
+        """
+        if not self._tracer.enabled:
+            self._obs = Telemetry(
+                tracer=Tracer(capacity=capacity), metrics=self._obs.metrics
+            )
+            self._bind_telemetry()
 
     @property
     def trace(self) -> List[str]:
-        return list(self._trace)
+        """Executed event labels, ``"<time>:<label>"`` (deprecated shim).
+
+        Formats the structured ``sim.event`` spans the tracer ring still
+        holds; prefer ``sim.tracer.spans(category="sim.event")``.
+        """
+        return [
+            f"{span.start_sim_s:.6f}:{span.name}"
+            for span in self._tracer.spans(category="sim.event")
+        ]
 
     def schedule(self, delay: float, handler: EventHandler, label: str = "") -> EventToken:
-        """Schedule ``handler`` to run ``delay`` seconds from now."""
+        """Schedule ``handler`` to run ``delay`` seconds from now.
+
+        When tracing is enabled the ambient span context is captured into
+        the event, so spans created by ``handler`` parent to the span
+        that was active *here*, across the queue hop.
+        """
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
         event = _ScheduledEvent(
@@ -106,6 +177,7 @@ class Simulator:
             sequence=next(self._sequence),
             label=label,
             handler=handler,
+            ctx=self._tracer.capture() if self._tracer.enabled else None,
         )
         heapq.heappush(self._queue, event)
         return EventToken(event)
@@ -119,15 +191,25 @@ class Simulator:
         while self._queue:
             event = heapq.heappop(self._queue)
             if event.cancelled:
+                # Visible, not silent: cancelled events are accounted.
+                self._m_cancelled.inc()
                 continue
             if event.time < self._now - 1e-12:
                 raise SimulationError("event queue time went backwards")
             self._now = event.time
             self._processed += 1
             event.executed = True
-            if self._tracing:
-                self._trace.append(f"{event.time:.6f}:{event.label}")
-            event.handler()
+            self._m_dispatched.inc()
+            self._g_depth.set(len(self._queue))
+            tracer = self._tracer
+            if tracer.enabled:
+                tracer.counter("repro.sim.queue.depth", len(self._queue))
+                span = tracer.begin(event.label, category="sim.event", parent=event.ctx)
+                with tracer.activate(span.span_id):
+                    event.handler()
+                span.end()
+            else:
+                event.handler()
             return True
         return False
 
@@ -157,6 +239,7 @@ class Simulator:
     def _peek_time(self) -> Optional[float]:
         while self._queue and self._queue[0].cancelled:
             heapq.heappop(self._queue)
+            self._m_cancelled.inc()
         return self._queue[0].time if self._queue else None
 
     def pending(self) -> int:

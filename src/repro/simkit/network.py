@@ -95,6 +95,32 @@ class Channel:
         self._busy_until = 0.0
         self._deliveries: List[Delivery] = []
         self.fault_stats = FaultStats()
+        # Telemetry rides on the simulator's bundle; handles resolved once.
+        obs = simulator.telemetry
+        self._tracer = obs.tracer
+        metrics = obs.metrics
+        self._m_messages = metrics.counter("repro.net.messages")
+        self._m_traffic = metrics.counter("repro.net.traffic_mb")
+        self._m_dropped = metrics.counter("repro.net.dropped")
+        self._m_dropped_disconnect = metrics.counter("repro.net.dropped_disconnect")
+        self._m_duplicated = metrics.counter("repro.net.duplicated")
+        self._m_jittered = metrics.counter("repro.net.jittered")
+        self._h_transfer = metrics.histogram("repro.net.transfer_s")
+
+    def _trace_transfer(
+        self, label: str, sent_at: float, delivered_at: float, size_mb: float, status: str
+    ) -> None:
+        """One ``net`` span per copy on the air (sim interval = airtime)."""
+        if self._tracer.enabled:
+            self._tracer.record(
+                f"net.{label}",
+                sent_at,
+                delivered_at,
+                category="net",
+                channel=self._name,
+                size_mb=size_mb,
+                status=status,
+            )
 
     @property
     def name(self) -> str:
@@ -132,6 +158,8 @@ class Channel:
         """
         sent_at = self._sim.now
         transfer = self.transfer_time(size_mb)
+        self._m_messages.inc()
+        self._m_traffic.inc(size_mb)
 
         if self._faults.enabled:
             return self._send_with_faults(payload, handler, size_mb, label, sent_at, transfer)
@@ -141,6 +169,8 @@ class Channel:
         self._busy_until = delivered_at
         record = Delivery(sent_at=sent_at, delivered_at=delivered_at, size_mb=size_mb, label=label)
         self._deliveries.append(record)
+        self._h_transfer.record(delivered_at - sent_at)
+        self._trace_transfer(label, sent_at, delivered_at, size_mb, DELIVERED)
         self._sim.schedule_at(
             delivered_at, lambda: handler(payload), label=f"{self._name}:{label}"
         )
@@ -164,6 +194,7 @@ class Channel:
         if faults.in_disconnect(sent_at):
             # The radio is off: the message never makes it onto the air.
             self.fault_stats.dropped_disconnect += 1
+            self._m_dropped_disconnect.inc()
             record = Delivery(
                 sent_at=sent_at,
                 delivered_at=sent_at,
@@ -172,6 +203,7 @@ class Channel:
                 status=DROPPED_DISCONNECT,
             )
             self._deliveries.append(record)
+            self._trace_transfer(label, sent_at, sent_at, size_mb, DROPPED_DISCONNECT)
             return record
 
         # Airtime is consumed whether or not the network then loses the
@@ -182,6 +214,7 @@ class Channel:
 
         if faults.drop_probability > 0 and rng.chance(faults.drop_probability):
             self.fault_stats.dropped += 1
+            self._m_dropped.inc()
             record = Delivery(
                 sent_at=sent_at,
                 delivered_at=arrival,
@@ -190,6 +223,7 @@ class Channel:
                 status=DROPPED,
             )
             self._deliveries.append(record)
+            self._trace_transfer(label, sent_at, arrival, size_mb, DROPPED)
             return record
 
         jitter = 0.0
@@ -197,11 +231,14 @@ class Channel:
             jitter = rng.uniform(0.0, faults.jitter_s)
             if jitter > 0:
                 self.fault_stats.jittered += 1
+                self._m_jittered.inc()
         delivered_at = arrival + jitter
         record = Delivery(
             sent_at=sent_at, delivered_at=delivered_at, size_mb=size_mb, label=label
         )
         self._deliveries.append(record)
+        self._h_transfer.record(delivered_at - sent_at)
+        self._trace_transfer(label, sent_at, delivered_at, size_mb, DELIVERED)
         self._sim.schedule_at(
             delivered_at, lambda: handler(payload), label=f"{self._name}:{label}"
         )
@@ -210,6 +247,8 @@ class Channel:
             # A lower layer retransmitted: a second copy arrives after an
             # extra latency (+ independent jitter) — and consumes traffic.
             self.fault_stats.duplicated += 1
+            self._m_duplicated.inc()
+            self._m_traffic.inc(size_mb)
             extra = self._config.latency_s
             if faults.jitter_s > 0:
                 extra += rng.uniform(0.0, faults.jitter_s)
@@ -222,6 +261,7 @@ class Channel:
                 status=DUPLICATE,
             )
             self._deliveries.append(dup_record)
+            self._trace_transfer(label, sent_at, dup_at, size_mb, DUPLICATE)
             self._sim.schedule_at(
                 dup_at, lambda: handler(payload), label=f"{self._name}:{label}:dup"
             )

@@ -1,0 +1,191 @@
+"""Exporter schemas: Chrome trace JSON, metrics JSON, BENCH_pipeline.json."""
+
+import json
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs import MetricsRegistry, Telemetry
+from repro.obs.bench import (
+    BENCH_PIPELINE_SCHEMA,
+    assert_valid_bench_pipeline,
+    bench_pipeline_document,
+    load_and_validate,
+    validate_bench_pipeline,
+    write_bench_pipeline,
+)
+from repro.obs.export import (
+    METRICS_SCHEMA,
+    assert_valid_chrome_trace,
+    chrome_trace,
+    chrome_trace_events,
+    metrics_document,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_metrics_json,
+)
+from repro.obs.tracing import Tracer
+
+
+def _sample_tracer() -> Tracer:
+    tracer = Tracer()
+    with tracer.span("server.process_batch", category="server", photos=4):
+        tracer.record("net.photo-batch", 1.0, 3.5, category="net", size_mb=10.0)
+    tracer.instant("pipeline.registration", category="pipeline")
+    tracer.counter("repro.sim.queue.depth", 3.0)
+    return tracer
+
+
+class TestChromeTrace:
+    def test_events_schema_valid(self):
+        doc = chrome_trace(_sample_tracer())
+        assert validate_chrome_trace(doc) == []
+        assert_valid_chrome_trace(doc)
+
+    def test_x_events_use_sim_microseconds(self):
+        events = chrome_trace_events(_sample_tracer())
+        net = [e for e in events if e["name"] == "net.photo-batch"][0]
+        assert net["ph"] == "X"
+        assert net["ts"] == pytest.approx(1.0e6)
+        assert net["dur"] == pytest.approx(2.5e6)
+        assert net["args"]["size_mb"] == 10.0
+        assert "span_id" in net["args"]
+
+    def test_zero_width_spans_widened_to_one_us(self):
+        events = chrome_trace_events(_sample_tracer())
+        inst = [e for e in events if e["name"] == "pipeline.registration"][0]
+        assert inst["dur"] == 1.0
+
+    def test_parent_id_exported(self):
+        events = chrome_trace_events(_sample_tracer())
+        by_name = {e["name"]: e for e in events if e["ph"] == "X"}
+        child = by_name["net.photo-batch"]
+        parent = by_name["server.process_batch"]
+        assert child["args"]["parent_id"] == parent["args"]["span_id"]
+
+    def test_counter_events_and_metadata(self):
+        events = chrome_trace_events(_sample_tracer())
+        counters = [e for e in events if e["ph"] == "C"]
+        assert counters and counters[0]["name"] == "repro.sim.queue.depth"
+        metas = [e for e in events if e["ph"] == "M"]
+        assert any(e["name"] == "process_name" for e in metas)
+        thread_names = {
+            e["args"]["name"] for e in metas if e["name"] == "thread_name"
+        }
+        assert {"server", "net", "pipeline"} <= thread_names
+
+    def test_wall_ms_rides_along(self):
+        events = chrome_trace_events(_sample_tracer())
+        x = [e for e in events if e["ph"] == "X"][0]
+        assert x["args"]["wall_ms"] >= 0.0
+
+    def test_write_roundtrip(self, tmp_path):
+        path = write_chrome_trace(_sample_tracer(), tmp_path / "trace.json")
+        doc = json.loads(path.read_text())
+        assert validate_chrome_trace(doc) == []
+        assert doc["otherData"]["spans_recorded"] == 3
+
+    def test_validator_rejects_malformed(self):
+        assert validate_chrome_trace([]) != []
+        assert validate_chrome_trace({"traceEvents": 3}) != []
+        bad_phase = {"traceEvents": [{"ph": "Z", "name": "x", "pid": 1}]}
+        assert validate_chrome_trace(bad_phase) != []
+        no_dur = {
+            "traceEvents": [
+                {"ph": "X", "name": "x", "pid": 1, "ts": 0.0, "args": {}}
+            ]
+        }
+        assert validate_chrome_trace(no_dur) != []
+        with pytest.raises(ObservabilityError):
+            assert_valid_chrome_trace(no_dur)
+
+    def test_non_json_attr_values_stringified(self):
+        tracer = Tracer()
+        tracer.record("x", 0.0, 1.0, obj=object())
+        events = chrome_trace_events(tracer)
+        x = [e for e in events if e["ph"] == "X"][0]
+        assert isinstance(x["args"]["obj"], str)
+        json.dumps(events)  # must be serialisable
+
+
+class TestMetricsJson:
+    def test_document_schema(self):
+        reg = MetricsRegistry()
+        reg.counter("repro.net.messages").inc(5)
+        doc = metrics_document(reg)
+        assert doc["schema"] == METRICS_SCHEMA
+        assert doc["metrics"]["repro.net.messages"]["value"] == 5
+
+    def test_write_roundtrip(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.histogram("repro.client.walk_s", base=1.0).record(12.0)
+        path = write_metrics_json(reg, tmp_path / "metrics.json")
+        doc = json.loads(path.read_text())
+        assert doc["metrics"]["repro.client.walk_s"]["count"] == 1
+
+
+def _registry_with_phases() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    for name in ("registration", "map_merge", "unvisited", "task_gen", "total"):
+        h = reg.histogram(f"repro.pipeline.phase.{name}")
+        h.record(0.01)
+        h.record(0.03)
+    reg.counter("repro.pipeline.batches").inc(2)
+    return reg
+
+
+class TestBenchPipelineDocument:
+    def test_document_valid_and_phase_rows(self):
+        doc = bench_pipeline_document(
+            _registry_with_phases(), campaign={"seed": 2018}
+        )
+        assert validate_bench_pipeline(doc) == []
+        assert doc["schema"] == BENCH_PIPELINE_SCHEMA
+        assert set(doc["phases"]) == {
+            "registration", "map_merge", "unvisited", "task_gen", "total",
+        }
+        row = doc["phases"]["registration"]
+        assert row["count"] == 2
+        assert row["total_s"] == pytest.approx(0.04)
+        assert row["mean_s"] == pytest.approx(0.02)
+        assert row["max_s"] == pytest.approx(0.03)
+        assert doc["campaign"] == {"seed": 2018}
+
+    def test_write_validates_and_roundtrips(self, tmp_path):
+        path = write_bench_pipeline(
+            tmp_path / "BENCH_pipeline.json", _registry_with_phases()
+        )
+        doc = load_and_validate(path)
+        assert doc["phases"]["total"]["count"] == 2
+
+    def test_validator_rejects_mutations(self):
+        doc = bench_pipeline_document(_registry_with_phases())
+        bad = dict(doc, schema="something/else")
+        assert validate_bench_pipeline(bad) != []
+        bad = dict(doc)
+        bad["phases"] = {"registration": {"count": "two"}}
+        assert validate_bench_pipeline(bad) != []
+        bad = dict(doc)
+        del bad["generated_at"]
+        assert validate_bench_pipeline(bad) != []
+        with pytest.raises(ObservabilityError):
+            assert_valid_bench_pipeline({"schema": "nope"})
+
+    def test_empty_registry_still_valid(self):
+        doc = bench_pipeline_document(MetricsRegistry())
+        assert validate_bench_pipeline(doc) == []
+        assert doc["phases"] == {}
+
+
+class TestTelemetryBundle:
+    def test_disabled_is_shared_and_inert(self):
+        a = Telemetry.disabled()
+        b = Telemetry.disabled()
+        assert a is b
+        assert not a.enabled
+
+    def test_enable_builds_live_pair(self):
+        t = Telemetry.enable(span_capacity=16)
+        assert t.enabled
+        assert t.tracer.capacity == 16
+        assert t.metrics.enabled

@@ -1,0 +1,188 @@
+"""Metrics registry: counters, gauges, log-bucketed histogram edges."""
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs import NULL_REGISTRY, MetricsRegistry
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    NullCounter,
+    NullHistogram,
+)
+
+
+class TestCounter:
+    def test_increments(self):
+        c = Counter("repro.test.c")
+        c.inc()
+        c.inc(3)
+        assert c.value == 4
+
+    def test_float_increments(self):
+        c = Counter("repro.test.mb")
+        c.inc(2.5)
+        c.inc(0.25)
+        assert c.value == pytest.approx(2.75)
+
+    def test_snapshot(self):
+        c = Counter("repro.test.c")
+        c.inc(7)
+        assert c.snapshot() == {"type": "counter", "value": 7}
+
+
+class TestGauge:
+    def test_set_and_watermark(self):
+        g = Gauge("repro.test.depth")
+        g.set(5)
+        g.set(2)
+        assert g.value == 2
+        assert g.max_value == 5
+
+    def test_inc_dec(self):
+        g = Gauge("repro.test.depth")
+        g.inc(3)
+        g.dec()
+        assert g.value == 2
+        assert g.max_value == 3
+
+
+class TestHistogramBuckets:
+    """Bucket k is (edge(k-1), edge(k)] with edge(k) = base * growth**k."""
+
+    def test_zeros_bucket(self):
+        h = Histogram("repro.test.h")
+        assert h.bucket_index(0.0) == -1
+        assert h.bucket_index(-1.0) == -1
+        h.record(0.0)
+        assert h.zeros == 1 and h.count == 1
+
+    def test_bucket_zero_is_zero_to_base(self):
+        h = Histogram("repro.test.h", base=1e-4, growth=2.0)
+        assert h.bucket_index(1e-9) == 0
+        assert h.bucket_index(1e-4) == 0  # exactly the edge: inclusive
+
+    def test_edges_are_exact_across_all_buckets(self):
+        h = Histogram("repro.test.h", base=1e-4, growth=2.0, max_buckets=64)
+        for k in range(0, 50):
+            edge = h.bucket_edge(k)
+            # A value exactly at the edge belongs to bucket k...
+            assert h.bucket_index(edge) == k, f"edge({k}) landed wrong"
+            # ...and the next representable value above it to bucket k+1.
+            above = edge * (1.0 + 1e-12)
+            expect = min(k + 1, h.max_buckets - 1)
+            assert h.bucket_index(above) == expect
+
+    def test_overflow_clamps_to_last_bucket(self):
+        h = Histogram("repro.test.h", base=1.0, growth=2.0, max_buckets=4)
+        assert h.bucket_index(1e9) == 3
+        h.record(1e9)
+        assert h.bucket_counts() == [(h.bucket_edge(3), 1)]
+
+    def test_growth_other_than_two(self):
+        h = Histogram("repro.test.h", base=0.5, growth=3.0, max_buckets=32)
+        for k in range(0, 20):
+            assert h.bucket_index(h.bucket_edge(k)) == k
+
+    def test_invalid_parameters_raise(self):
+        with pytest.raises(ObservabilityError):
+            Histogram("repro.test.h", base=0.0)
+        with pytest.raises(ObservabilityError):
+            Histogram("repro.test.h", growth=1.0)
+        with pytest.raises(ObservabilityError):
+            Histogram("repro.test.h", max_buckets=0)
+
+
+class TestHistogramStats:
+    def test_count_total_min_max_mean(self):
+        h = Histogram("repro.test.h", base=1.0, growth=2.0)
+        for v in (1.0, 2.0, 4.0, 9.0):
+            h.record(v)
+        assert h.count == 4
+        assert h.total == pytest.approx(16.0)
+        assert h.mean == pytest.approx(4.0)
+        assert h.min == 1.0 and h.max == 9.0
+
+    def test_quantile_bucket_upper_edges(self):
+        h = Histogram("repro.test.h", base=1.0, growth=2.0)
+        for v in (0.5, 0.6, 3.0, 100.0):
+            h.record(v)
+        # p50 falls in bucket 0 (two of four values <= 1.0).
+        assert h.quantile(0.5) == pytest.approx(1.0)
+        # p100 is the exact observed max, not a bucket edge.
+        assert h.quantile(1.0) == pytest.approx(100.0)
+        assert h.quantile(0.0) == pytest.approx(0.5)
+        with pytest.raises(ObservabilityError):
+            h.quantile(1.5)
+
+    def test_quantile_clamped_to_observed_max(self):
+        h = Histogram("repro.test.h", base=1.0, growth=2.0)
+        h.record(5.0)  # bucket edge is 8.0
+        assert h.quantile(0.5) == pytest.approx(5.0)
+
+    def test_snapshot_shape(self):
+        h = Histogram("repro.test.h", base=1.0, growth=2.0)
+        h.record(0.0)
+        h.record(3.0)
+        snap = h.snapshot()
+        assert snap["type"] == "histogram"
+        assert snap["count"] == 2 and snap["zeros"] == 1
+        assert snap["buckets"] == [{"le": 4.0, "count": 1}]
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        reg = MetricsRegistry()
+        assert reg.counter("repro.a.x") is reg.counter("repro.a.x")
+        assert reg.histogram("repro.a.h") is reg.histogram("repro.a.h")
+
+    def test_type_clash_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("repro.a.x")
+        with pytest.raises(ObservabilityError):
+            reg.gauge("repro.a.x")
+
+    def test_name_convention_enforced(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ObservabilityError):
+            reg.counter("Repro.Bad.Name")
+        with pytest.raises(ObservabilityError):
+            reg.counter("has space")
+
+    def test_snapshot_sorted_and_flat(self):
+        reg = MetricsRegistry()
+        reg.counter("repro.b.x").inc()
+        reg.gauge("repro.a.y").set(2)
+        snap = reg.snapshot()
+        assert list(snap) == ["repro.a.y", "repro.b.x"]
+        assert snap["repro.b.x"]["value"] == 1
+
+    def test_names_and_get(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("repro.pipeline.phase.total")
+        assert reg.names() == ["repro.pipeline.phase.total"]
+        assert reg.get("repro.pipeline.phase.total") is h
+        assert reg.get("missing") is None
+
+
+class TestNullRegistry:
+    def test_shared_noop_singletons(self):
+        c1 = NULL_REGISTRY.counter("repro.a.x")
+        c2 = NULL_REGISTRY.counter("repro.b.y")
+        assert c1 is c2
+        assert isinstance(c1, NullCounter)
+        c1.inc(100)
+        assert c1.value == 0
+
+    def test_histogram_accepts_config_args(self):
+        h = NULL_REGISTRY.histogram("repro.a.h", base=1.0, growth=2.0)
+        assert isinstance(h, NullHistogram)
+        h.record(5.0)
+        assert h.count == 0 and h.snapshot()["count"] == 0
+
+    def test_disabled_flag_and_empty_views(self):
+        assert NULL_REGISTRY.enabled is False
+        assert MetricsRegistry.enabled is True
+        assert NULL_REGISTRY.names() == []
+        assert NULL_REGISTRY.snapshot() == {}
