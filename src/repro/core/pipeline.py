@@ -39,7 +39,13 @@ from ..mapping import (
     MapUpdate,
 )
 from ..obs import NULL_TELEMETRY, Telemetry
-from ..sfm import IncrementalSfm, RegistrationReport, SfmModel, sor_filter
+from ..sfm import (
+    IncrementalSfm,
+    IncrementalSorFilter,
+    RegistrationReport,
+    SfmModel,
+    sor_filter,
+)
 from ..simkit.rng import RngStream
 from ..venue.features import FeatureWorld
 import numpy as np
@@ -102,14 +108,23 @@ class SnapTaskPipeline:
         }
         self._m_batches = metrics.counter("repro.pipeline.batches")
         self._m_tasks_generated = metrics.counter("repro.pipeline.tasks_generated")
+        # ``full_rebuild=True`` is the escape hatch that forces from-scratch
+        # recomputation on every batch, through all three incremental
+        # subsystems: the columnar SfM engine falls back to full pending
+        # rescans + eager snapshots, the SOR filter to a fresh cKDTree
+        # query, and the map engine to Algorithm 2 + 3 rebuilds.
+        self._full_rebuild = full_rebuild
         self._sfm = IncrementalSfm(
-            world, config.sfm, rng.child("sfm"), telemetry=obs
+            world, config.sfm, rng.child("sfm"), telemetry=obs,
+            full_rebuild=full_rebuild,
+        )
+        # Incremental SOR (Algorithm 1 line 2): per-point kNN caches keyed
+        # to the growing reconstruction; bit-identical to ``sor_filter``.
+        self._sor = IncrementalSorFilter(
+            config.sfm.sor_neighbors, config.sfm.sor_std_ratio, telemetry=obs
         )
         # Incremental map maintenance (DESIGN.md §5): obstacles, visibility
         # and coverage are updated by delta instead of rebuilt per batch.
-        # ``full_rebuild=True`` is the escape hatch that forces from-scratch
-        # recomputation through the same engine on every batch.
-        self._full_rebuild = full_rebuild
         self._map_engine = IncrementalMapEngine(
             spec,
             obstacle_threshold=config.tasks.obstacle_threshold,
@@ -197,11 +212,14 @@ class SnapTaskPipeline:
         t0 = t_total
         report = self._sfm.add_photos(photos)  # line 1
         model = self._sfm.model()
-        filtered_cloud = sor_filter(  # line 2
-            model.cloud,
-            self._config.sfm.sor_neighbors,
-            self._config.sfm.sor_std_ratio,
-        )
+        if self._full_rebuild:  # line 2 (from-scratch oracle)
+            filtered_cloud = sor_filter(
+                model.cloud,
+                self._config.sfm.sor_neighbors,
+                self._config.sfm.sor_std_ratio,
+            )
+        else:  # line 2, amortized over the growing cloud
+            filtered_cloud = self._sor.filter(model.cloud)
         if obs_on:
             self._phase("registration", t0, photos=len(photos))
             t0 = perf_counter()

@@ -206,10 +206,3 @@ def _resample_ranges(sector_ranges: np.ndarray, n_rays: int) -> np.ndarray:
         (np.arange(n_rays) * n_sectors) // max(1, n_rays - 1), n_sectors - 1
     )
     return sector_ranges[idx]
-
-
-def _wrap(angle: float) -> float:
-    wrapped = angle % (2.0 * math.pi)
-    if wrapped > math.pi:
-        wrapped -= 2.0 * math.pi
-    return wrapped

@@ -123,3 +123,106 @@ def load_and_validate(path: PathLike) -> dict:
     doc = json.loads(pathlib.Path(path).read_text())
     assert_valid_bench_pipeline(doc)
     return doc
+
+
+# ---------------------------------------------------------------------------
+# BENCH_sfm.json — scratch-vs-incremental SfM registration-phase timings
+# ---------------------------------------------------------------------------
+
+BENCH_SFM_SCHEMA = "repro.bench.sfm/v1"
+
+_SFM_BATCH_FIELDS = (
+    "batch",
+    "points",
+    "cameras",
+    "pending",
+    "scratch_ms",
+    "incremental_ms",
+    "speedup",
+)
+
+_SFM_SUMMARY_FIELDS = (
+    "late_from_batch",
+    "late_batches",
+    "late_scratch_ms",
+    "late_incremental_ms",
+    "late_speedup",
+    "target_speedup",
+)
+
+
+def bench_sfm_document(
+    batches: List[dict], summary: dict, campaign: Optional[dict] = None
+) -> dict:
+    """Build the ``BENCH_sfm.json`` document (see ``validate_bench_sfm``)."""
+    return {
+        "schema": BENCH_SFM_SCHEMA,
+        "generated_at": datetime.datetime.now(datetime.timezone.utc).isoformat(),
+        "campaign": dict(campaign or {}),
+        "batches": [dict(row) for row in batches],
+        "summary": dict(summary),
+    }
+
+
+def write_bench_sfm(
+    path: PathLike,
+    batches: List[dict],
+    summary: dict,
+    campaign: Optional[dict] = None,
+) -> pathlib.Path:
+    doc = bench_sfm_document(batches, summary, campaign)
+    assert_valid_bench_sfm(doc)
+    path = pathlib.Path(path)
+    path.write_text(json.dumps(doc, indent=2) + "\n")
+    return path
+
+
+def validate_bench_sfm(doc) -> List[str]:
+    """Return a list of schema violations (empty == valid)."""
+    problems: List[str] = []
+    if not isinstance(doc, dict):
+        return ["document is not an object"]
+    if doc.get("schema") != BENCH_SFM_SCHEMA:
+        problems.append(
+            f"schema is {doc.get('schema')!r}, expected {BENCH_SFM_SCHEMA!r}"
+        )
+    if not isinstance(doc.get("generated_at"), str):
+        problems.append("generated_at missing or not a string")
+    if not isinstance(doc.get("campaign"), dict):
+        problems.append("campaign missing or not an object")
+    batches = doc.get("batches")
+    if not isinstance(batches, list) or not batches:
+        problems.append("batches missing, not a list, or empty")
+    else:
+        for i, row in enumerate(batches):
+            if not isinstance(row, dict):
+                problems.append(f"batches[{i}] is not an object")
+                continue
+            for field in _SFM_BATCH_FIELDS:
+                value = row.get(field)
+                if not isinstance(value, (int, float)) or isinstance(value, bool):
+                    problems.append(f"batches[{i}] field {field!r} not numeric")
+    summary = doc.get("summary")
+    if not isinstance(summary, dict):
+        problems.append("summary missing or not an object")
+    else:
+        for field in _SFM_SUMMARY_FIELDS:
+            value = summary.get(field)
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                problems.append(f"summary field {field!r} not numeric")
+    return problems
+
+
+def assert_valid_bench_sfm(doc) -> None:
+    problems = validate_bench_sfm(doc)
+    if problems:
+        raise ObservabilityError(
+            "invalid BENCH_sfm document: " + "; ".join(problems[:10])
+        )
+
+
+def load_and_validate_sfm(path: PathLike) -> dict:
+    """CI helper: load ``path``, validate as BENCH_sfm, return the document."""
+    doc = json.loads(pathlib.Path(path).read_text())
+    assert_valid_bench_sfm(doc)
+    return doc

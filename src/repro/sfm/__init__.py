@@ -1,6 +1,12 @@
 """SfM substrate: matching, incremental reconstruction, clouds, filtering."""
 
-from .filters import sor_filter, sor_mask
+from .columnar import FeatureColumns, PointColumnStore
+from .filters import (
+    IncrementalSorFilter,
+    sor_filter,
+    sor_filter_incremental,
+    sor_mask,
+)
 from .matching import MatchIndex, match_count
 from .model import RecoveredCamera, SfmModel
 from .pointcloud import CloudPoint, PointCloud
@@ -8,13 +14,17 @@ from .reconstruction import IncrementalSfm, RegistrationReport
 
 __all__ = [
     "CloudPoint",
+    "FeatureColumns",
     "IncrementalSfm",
+    "IncrementalSorFilter",
     "MatchIndex",
     "PointCloud",
+    "PointColumnStore",
     "RecoveredCamera",
     "RegistrationReport",
     "SfmModel",
     "match_count",
     "sor_filter",
+    "sor_filter_incremental",
     "sor_mask",
 ]

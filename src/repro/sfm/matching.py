@@ -68,6 +68,14 @@ class MatchIndex:
     def observers_of(self, feature_id: int) -> Set[int]:
         return set(self._by_feature.get(feature_id, ()))
 
+    def observers_view(self, feature_id: int):
+        """Non-copying view of the observer set (hot-path iteration only).
+
+        Callers must not mutate the returned set; the registration
+        wavefront iterates it once per view-mask change.
+        """
+        return self._by_feature.get(feature_id, ())
+
     def pair_match_counts(self, photo: Photo) -> Dict[int, int]:
         """Match counts between ``photo`` and every other indexed photo."""
         counts: Dict[int, int] = defaultdict(int)
@@ -98,7 +106,3 @@ class MatchIndex:
             if count >= min_matches and (best is None or count > best[2]):
                 best = (a, b, count)
         return best
-
-    def known_feature_overlap(self, photo: Photo, known: Set[int]) -> int:
-        """How many of ``photo``'s features appear in the ``known`` set."""
-        return sum(1 for fid in photo.feature_id_set() if fid in known)

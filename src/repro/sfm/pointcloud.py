@@ -4,12 +4,20 @@ A cloud is a set of 3-D points, each tied to the stable feature id it was
 triangulated from and annotated with its view count and provenance
 (world / artificial-texture / reflection). The mapping layer consumes the
 numpy views; the provenance masks exist for evaluation and debugging.
+
+Storage is columnar: ``(N,)`` feature ids, ``(N, 3)`` positions and
+``(N,)`` view counts. The per-point :class:`CloudPoint` tuple is built
+lazily — the hot paths (mapping, SOR, subsetting, merging) operate on the
+arrays and never materialise Python objects. Clouds built by the
+incremental engine share frozen (``writeable=False``) arrays with the
+engine's append-only store, so taking a model snapshot does not copy the
+whole cloud (copy-on-write semantics; see ``repro.sfm.columnar``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -41,24 +49,58 @@ class PointCloud:
     """Immutable collection of reconstructed points with numpy views."""
 
     def __init__(self, points: Sequence[CloudPoint]):
-        self._points: Tuple[CloudPoint, ...] = tuple(points)
-        n = len(self._points)
+        pts = tuple(points)
+        n = len(pts)
         self._xyz = np.zeros((n, 3), dtype=float)
         self._ids = np.zeros(n, dtype=int)
         self._views = np.zeros(n, dtype=int)
-        for i, p in enumerate(self._points):
+        for i, p in enumerate(pts):
             self._xyz[i] = (p.x, p.y, p.z)
             self._ids[i] = p.feature_id
             self._views[i] = p.n_views
+        self._points: Optional[Tuple[CloudPoint, ...]] = pts
+
+    @classmethod
+    def from_columns(
+        cls, ids: np.ndarray, xyz: np.ndarray, views: np.ndarray
+    ) -> "PointCloud":
+        """Wrap pre-built columnar arrays without copying.
+
+        The arrays are aliased, not copied — callers hand over ownership
+        (the incremental engine passes frozen snapshot arrays). The
+        ``CloudPoint`` tuple is materialised only if ``points`` is read.
+        """
+        if xyz.ndim != 2 or xyz.shape[1] != 3:
+            raise ReconstructionError("from_columns expects (N, 3) positions")
+        if ids.shape[0] != xyz.shape[0] or views.shape[0] != xyz.shape[0]:
+            raise ReconstructionError("column lengths disagree")
+        cloud = cls.__new__(cls)
+        cloud._ids = ids
+        cloud._xyz = xyz
+        cloud._views = views
+        cloud._points = None
+        return cloud
 
     def __len__(self) -> int:
-        return len(self._points)
+        return int(self._ids.shape[0])
 
     def __iter__(self):
-        return iter(self._points)
+        return iter(self.points)
 
     @property
     def points(self) -> Tuple[CloudPoint, ...]:
+        if self._points is None:
+            ids, xyz, views = self._ids, self._xyz, self._views
+            self._points = tuple(
+                CloudPoint(
+                    feature_id=int(ids[i]),
+                    x=float(xyz[i, 0]),
+                    y=float(xyz[i, 1]),
+                    z=float(xyz[i, 2]),
+                    n_views=int(views[i]),
+                )
+                for i in range(ids.shape[0])
+            )
         return self._points
 
     @property
@@ -87,23 +129,39 @@ class PointCloud:
         return self._xyz[:, :2]
 
     def subset(self, mask: np.ndarray) -> "PointCloud":
+        """Vectorized boolean subset (no per-point Python objects)."""
         mask = np.asarray(mask, dtype=bool)
-        if mask.shape[0] != len(self._points):
+        if mask.shape[0] != self._ids.shape[0]:
             raise ReconstructionError("subset mask length mismatch")
-        return PointCloud([p for p, keep in zip(self._points, mask) if keep])
+        return PointCloud.from_columns(
+            self._ids[mask], self._xyz[mask], self._views[mask]
+        )
 
     def without_reflections(self) -> "PointCloud":
         return self.subset(~self.reflection_mask)
 
     def merged_with(self, other: "PointCloud") -> "PointCloud":
-        """Union by feature id; points from ``other`` win on collision."""
-        by_id: Dict[int, CloudPoint] = {p.feature_id: p for p in self._points}
-        for p in other.points:
-            by_id[p.feature_id] = p
-        return PointCloud([by_id[k] for k in sorted(by_id)])
+        """Union by feature id; points from ``other`` win on collision.
+
+        Vectorized: concatenate (self first, other second), stable-sort by
+        id, and keep the *last* row of every id group — which is always
+        ``other``'s row when both clouds carry the id.
+        """
+        ids = np.concatenate([self._ids, other._ids])
+        if ids.shape[0] == 0:
+            return PointCloud.empty()
+        xyz = np.concatenate([self._xyz, other._xyz], axis=0)
+        views = np.concatenate([self._views, other._views])
+        order = np.argsort(ids, kind="stable")
+        ids, xyz, views = ids[order], xyz[order], views[order]
+        # Last occurrence of each id: positions where the next id differs.
+        keep = np.empty(ids.shape[0], dtype=bool)
+        keep[:-1] = ids[1:] != ids[:-1]
+        keep[-1] = True
+        return PointCloud.from_columns(ids[keep], xyz[keep], views[keep])
 
     def bounding_box_2d(self) -> Optional[Tuple[float, float, float, float]]:
-        if len(self._points) == 0:
+        if len(self) == 0:
             return None
         xy = self.floor_xy()
         return (

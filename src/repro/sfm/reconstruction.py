@@ -19,12 +19,33 @@ on:
 Triangulation uses the simulator's feature-position oracle plus calibrated
 noise rather than multi-view geometry on pixel coordinates — the
 substitution documented in DESIGN.md.
+
+Two execution strategies share one public contract (DESIGN.md §"Columnar
+SfM core"):
+
+* the default **columnar wavefront** path interns feature ids into a
+  dense index (``repro.sfm.columnar``), evaluates the registration test
+  as a vectorized gather + bitmask intersect, re-tests only pending
+  photos whose features gained new view-mask bits since their last test
+  (the registration *wavefront*), triangulates from a dirty-feature
+  queue, and snapshots the cloud O(delta) from an append-only column
+  store;
+* the ``full_rebuild=True`` **escape hatch** preserves the original
+  O(model)-per-batch semantics — per-feature dict loops, full pending
+  rescans every round, full feature-table triangulation scans, and
+  from-scratch ``PointCloud`` construction on every ``model()`` call.
+
+Both paths draw their pose/point noise from *keyed* RNG children
+(``pose-<photo>``, ``point-<fid>``), so registration order never perturbs
+the draws; the differential suite (tests/test_sfm_equivalence.py) pins
+the two strategies bit-identical on clouds, reports and registration
+order.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 import numpy as np
@@ -37,9 +58,13 @@ from ..geometry import Vec2, Vec3
 from ..obs import NULL_TELEMETRY, Telemetry
 from ..simkit.rng import RngStream
 from ..venue.features import ARTIFICIAL_FEATURE_BASE, REFLECTION_FEATURE_BASE, FeatureWorld
+from .columnar import FeatureColumns, PointColumnStore
 from .matching import MatchIndex
 from .model import RecoveredCamera, SfmModel
 from .pointcloud import CloudPoint, PointCloud
+
+#: Bucket value marking wildcard (viewpoint-insensitive) observations.
+WILDCARD_BUCKET = 255
 
 
 @dataclass(frozen=True)
@@ -75,10 +100,15 @@ class IncrementalSfm:
         config: SfmConfig,
         rng: RngStream,
         telemetry: Optional[Telemetry] = None,
+        full_rebuild: bool = False,
     ):
         self._world = world
         self._config = config
         self._rng = rng
+        #: From-scratch escape hatch: preserve the original O(model)
+        #: per-batch scan semantics (dict state, full rescans, eager
+        #: snapshots). The wavefront path must stay bit-identical to it.
+        self._scratch = bool(full_rebuild)
         obs = telemetry if telemetry is not None else NULL_TELEMETRY
         metrics = obs.metrics
         # Per-photo/per-point distributions (DESIGN.md "Observability").
@@ -93,36 +123,66 @@ class IncrementalSfm:
         self._h_batch_registered = metrics.histogram(
             "repro.sfm.batch_registered", base=1.0, growth=2.0
         )
+        # Wavefront/candidate counters (columnar path only).
+        self._m_wave_rounds = metrics.counter("repro.sfm.wavefront.rounds")
+        self._m_wave_candidates = metrics.counter("repro.sfm.wavefront.candidates")
+        self._m_wave_skipped = metrics.counter("repro.sfm.wavefront.skipped")
+        self._m_wave_dirtied = metrics.counter("repro.sfm.wavefront.photos_dirtied")
+        self._m_tri_dirty = metrics.counter("repro.sfm.triangulation.dirty_features")
+
         self._pending = MatchIndex()
         self._photos: Dict[int, Photo] = {}
         self._registered: Dict[int, RecoveredCamera] = {}
         # feature id -> photo ids among *registered* photos observing it.
         self._feature_obs: Dict[int, Set[int]] = {}
-        # feature id -> reconstructed point (created at >= min_views).
-        self._points: Dict[int, CloudPoint] = {}
+        # Append-only columnar point store (both strategies; only the
+        # snapshot policy differs — see model()).
+        self._store = PointColumnStore()
         # Oracle positions for artificial-texture features (Algorithm 6).
         self._artificial_positions: Dict[int, Vec3] = {}
         # Cache of per-feature noise draws so rebuilt clouds are stable.
         self._noise_cache: Dict[int, Tuple[float, float, float]] = {}
-        # Viewpoint-compatible matching state: per-feature bitmask of the
-        # angular buckets registered observers saw it from, and per-photo
-        # cached buckets for each of its observations.
+        # Scratch strategy: per-feature bitmask dict of the angular buckets
+        # registered observers saw it from (the original representation).
         self._view_masks: Dict[int, int] = {}
+        # Columnar strategy: dense per-feature state + per-photo columns.
+        self._cols = FeatureColumns(self._resolve_feature)
+        self._photo_fidx: Dict[int, np.ndarray] = {}
+        self._photo_bits: Dict[int, np.ndarray] = {}
+        self._photo_sel: Dict[int, np.ndarray] = {}
         self._photo_bucket_cache: Dict[int, np.ndarray] = {}
+        # Wavefront state: pending photos whose registration test could
+        # have changed since they were last tested.
+        self._dirty_pending: Set[int] = set()
+        # Triangulation dirty queue: dense feature indices whose observer
+        # sets grew (or whose oracle position appeared) since last check.
+        self._dirty_features: List[np.ndarray] = []
+        # Registration order (photo ids, in the order _register ran).
+        self._registration_log: List[int] = []
+        # Per-add_photos camera delta (reset each call).
+        self._new_camera_ids: List[int] = []
+
         n_buckets = self._config.view_compat_buckets
         spread = self._config.view_compat_spread
+        self._full_mask = (1 << n_buckets) - 1
         self._compat_masks = []
         for b in range(n_buckets):
             mask = 0
             for d in range(-spread, spread + 1):
                 mask |= 1 << ((b + d) % n_buckets)
             self._compat_masks.append(mask)
+        self._compat_arr = np.asarray(self._compat_masks, dtype=np.int64)
 
     # -- public state ----------------------------------------------------------
 
     @property
     def config(self) -> SfmConfig:
         return self._config
+
+    @property
+    def full_rebuild(self) -> bool:
+        """True when the from-scratch escape hatch is active."""
+        return self._scratch
 
     @property
     def n_registered(self) -> int:
@@ -134,13 +194,17 @@ class IncrementalSfm:
 
     @property
     def n_points(self) -> int:
-        return len(self._points)
+        return len(self._store)
 
     def is_registered(self, photo_id: int) -> bool:
         return photo_id in self._registered
 
     def registered_ids(self) -> List[int]:
         return sorted(self._registered)
+
+    def registration_log(self) -> Tuple[int, ...]:
+        """Photo ids in the exact order they registered (all batches)."""
+        return tuple(self._registration_log)
 
     def pending_ids(self) -> List[int]:
         return sorted(p.photo_id for p in self._pending.photos())
@@ -155,12 +219,22 @@ class IncrementalSfm:
         come from the annotation pipeline's plane fit, so annotation error
         propagates into the reconstructed glass surfaces.
         """
+        touched: List[int] = []
         for fid, pos in zip(ids, positions):
             if fid < ARTIFICIAL_FEATURE_BASE:
                 raise ReconstructionError(
                     f"feature {fid} is not in the artificial id space"
                 )
-            self._artificial_positions[int(fid)] = pos
+            fid = int(fid)
+            self._artificial_positions[fid] = pos
+            # A feature that already had >= min_views observers but no
+            # oracle position becomes triangulatable *now*; requeue it so
+            # the dirty-feature path re-checks without a new observer.
+            dense = self._cols.index_of(fid)
+            if dense is not None:
+                touched.append(dense)
+        if touched:
+            self._dirty_features.append(np.asarray(touched, dtype=np.int64))
 
     # -- reconstruction ----------------------------------------------------------
 
@@ -172,16 +246,13 @@ class IncrementalSfm:
                 raise ReconstructionError(f"photo {photo.photo_id} already added")
             self._photos[photo.photo_id] = photo
             self._pending.add(photo)
+            self._dirty_pending.add(photo.photo_id)
 
-        points_before = set(self._points)
-        cameras_before = set(self._registered)
+        points_start = self._store.n
+        self._new_camera_ids = []
         newly_registered = self._run_registration()
-        new_point_ids = tuple(
-            sorted(fid for fid in self._points if fid not in points_before)
-        )
-        new_camera_ids = tuple(
-            sorted(pid for pid in self._registered if pid not in cameras_before)
-        )
+        new_point_ids = tuple(sorted(int(f) for f in self._store.ids_slice(points_start)))
+        new_camera_ids = tuple(sorted(self._new_camera_ids))
         self._m_registered.inc(newly_registered)
         self._h_batch_registered.record(newly_registered)
         return RegistrationReport(
@@ -189,40 +260,75 @@ class IncrementalSfm:
             newly_registered=newly_registered,
             still_pending=len(self._pending),
             new_points=len(new_point_ids),
-            total_points=len(self._points),
+            total_points=self._store.n,
             total_cameras=len(self._registered),
             new_point_ids=new_point_ids,
             new_camera_ids=new_camera_ids,
         )
 
     def model(self) -> SfmModel:
-        """Snapshot of the current reconstruction."""
-        cloud = PointCloud([self._points[k] for k in sorted(self._points)])
+        """Snapshot of the current reconstruction.
+
+        Columnar path: O(delta) — the store's frozen sorted columns are
+        shared with the returned cloud (copy-on-write). Escape hatch:
+        from-scratch per-point rebuild, as the original engine did.
+        """
+        if self._scratch:
+            points = [
+                CloudPoint(fid, x, y, z, views)
+                for fid, x, y, z, views in sorted(self._store.rows())
+            ]
+            cloud = PointCloud(points)
+        else:
+            ids, xyz, views = self._store.sorted_columns()
+            cloud = PointCloud.from_columns(ids, xyz, views)
         return SfmModel(cloud, list(self._registered.values()))
 
     # -- internals ---------------------------------------------------------------
 
     def _run_registration(self) -> int:
-        """Drive registration to a fixpoint; returns #newly registered."""
+        """Drive registration to a fixpoint; returns #newly registered.
+
+        Wavefront invariant (columnar path): a pending photo is re-tested
+        only when some feature it observes gained a new view-mask bit
+        since the photo's last test. View masks only ever *gain* bits, so
+        a photo skipped this round would have produced exactly the same
+        (non-registrable) overlap as its last test — skipping is
+        behaviour-preserving, which the differential suite pins against
+        the full-rescan escape hatch.
+        """
         registered_count = 0
         if not self._registered:
             registered_count += self._bootstrap()
+        scratch = self._scratch
         progress = True
         while progress:
             progress = False
+            if scratch:
+                candidates = self._pending.photos()
+            else:
+                candidate_ids = sorted(self._dirty_pending)
+                candidates = [self._pending.photo(pid) for pid in candidate_ids]
+                self._m_wave_rounds.inc()
+                self._m_wave_candidates.inc(len(candidates))
+                self._m_wave_skipped.inc(len(self._pending) - len(candidates))
             registrable: List[Photo] = []
-            for photo in self._pending.photos():
+            for photo in candidates:
                 overlap = self._compatible_overlap(photo)
                 if self._registrable(photo, overlap):
                     registrable.append(photo)
                     self._h_overlap.record(overlap)
+                elif not scratch:
+                    # Clean until some feature of this photo gains a bit.
+                    self._dirty_pending.discard(photo.photo_id)
             for photo in sorted(registrable, key=lambda p: p.photo_id):
                 self._register(photo)
                 registered_count += 1
                 progress = True
             if not progress:
-                progress = self._register_rigs() > 0
-                registered_count += 1 if progress else 0
+                rig_registered = self._register_rigs()
+                registered_count += rig_registered
+                progress = rig_registered > 0
         self._triangulate()
         return registered_count
 
@@ -238,31 +344,53 @@ class IncrementalSfm:
 
         from ..annotation.textures import FEATURES_PER_TEXTURE
 
-        known = set(self._feature_obs)
         rigs = defaultdict(list)
-        for photo in self._pending.photos():
-            artificial = [
-                int(f)
-                for f in photo.feature_ids
-                if ARTIFICIAL_FEATURE_BASE <= f < REFLECTION_FEATURE_BASE
-            ]
-            if len(artificial) < self._config.rig_texture_matches:
-                continue
-            texture_block = (artificial[0] - ARTIFICIAL_FEATURE_BASE) // FEATURES_PER_TEXTURE
-            rigs[texture_block].append(photo)
+        if self._scratch:
+            known = set(self._feature_obs)
+            for photo in self._pending.photos():
+                artificial = [
+                    int(f)
+                    for f in photo.feature_ids
+                    if ARTIFICIAL_FEATURE_BASE <= f < REFLECTION_FEATURE_BASE
+                ]
+                if len(artificial) < self._config.rig_texture_matches:
+                    continue
+                texture_block = (artificial[0] - ARTIFICIAL_FEATURE_BASE) // FEATURES_PER_TEXTURE
+                rigs[texture_block].append(photo)
+        else:
+            for photo in self._pending.photos():
+                fidx = self._photo_columns(photo)[0]
+                wild = self._cols.wildcard[fidx]
+                if int(np.count_nonzero(wild)) < self._config.rig_texture_matches:
+                    continue
+                first = int(photo.feature_ids[int(np.argmax(wild))])
+                texture_block = (first - ARTIFICIAL_FEATURE_BASE) // FEATURES_PER_TEXTURE
+                rigs[texture_block].append(photo)
 
         registered = 0
         for _block, photos in sorted(rigs.items()):
             if len(photos) < 2:
                 continue
-            union_matches = set()
-            for photo in photos:
-                union_matches |= {
-                    f
-                    for f in photo.feature_id_set()
-                    if f < ARTIFICIAL_FEATURE_BASE and f in known
-                }
-            if len(union_matches) >= self._config.min_rig_anchor_matches:
+            if self._scratch:
+                union_matches = set()
+                for photo in photos:
+                    union_matches |= {
+                        f
+                        for f in photo.feature_id_set()
+                        if f < ARTIFICIAL_FEATURE_BASE and f in known
+                    }
+                n_union = len(union_matches)
+            else:
+                chunks = []
+                for photo in photos:
+                    fidx = self._photo_columns(photo)[0]
+                    fids = photo.feature_ids
+                    anchored = (fids < ARTIFICIAL_FEATURE_BASE) & (
+                        self._cols.obs_count[fidx] > 0
+                    )
+                    chunks.append(fids[anchored])
+                n_union = int(np.unique(np.concatenate(chunks)).shape[0]) if chunks else 0
+            if n_union >= self._config.min_rig_anchor_matches:
                 for photo in sorted(photos, key=lambda p: p.photo_id):
                     self._register(photo)
                     registered += 1
@@ -275,6 +403,56 @@ class IncrementalSfm:
         feature = self._world.feature(fid)
         return (feature.position.x, feature.position.y)
 
+    def _resolve_feature(self, fid: int) -> Tuple[float, float, bool]:
+        """Intern-time classification for :class:`FeatureColumns`.
+
+        Artificial-texture ids are wildcards (viewpoint-insensitive, no
+        stable floor position); everything else — world features and
+        mirrored reflections — resolves to its oracle floor position.
+        """
+        if ARTIFICIAL_FEATURE_BASE <= fid < REFLECTION_FEATURE_BASE:
+            return (0.0, 0.0, True)
+        feature = self._world.feature(fid)
+        return (feature.position.x, feature.position.y, False)
+
+    def _photo_columns(
+        self, photo: Photo
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """(dense idx, buckets, or-bits, compat-select) for one photo, cached.
+
+        Buckets reproduce the original scalar formula elementwise:
+        ``int((atan2(cy - fy, cx - fx) + pi) / (2 pi) * n) % n`` with 255
+        marking wildcard observations; the vectorized arctan2/truncation
+        is bit-identical to ``math.atan2`` + ``int()`` on the same floats
+        (pinned by tests/test_sfm_equivalence.py).
+        """
+        pid = photo.photo_id
+        fidx = self._photo_fidx.get(pid)
+        if fidx is not None:
+            return (
+                fidx,
+                self._photo_bucket_cache[pid],
+                self._photo_bits[pid],
+                self._photo_sel[pid],
+            )
+        n_buckets = self._config.view_compat_buckets
+        fidx = self._cols.intern_many(photo.feature_ids)
+        wild = self._cols.wildcard[fidx]
+        cx = photo.true_pose.position.x
+        cy = photo.true_pose.position.y
+        dx = np.where(wild, 1.0, cx - self._cols.x[fidx])
+        dy = np.where(wild, 0.0, cy - self._cols.y[fidx])
+        angle = np.arctan2(dy, dx)
+        raw = ((angle + np.pi) / (2.0 * np.pi) * n_buckets).astype(np.int64) % n_buckets
+        buckets = np.where(wild, WILDCARD_BUCKET, raw).astype(np.uint8)
+        bits = np.where(wild, self._full_mask, np.int64(1) << raw)
+        sel = np.where(wild, self._full_mask, self._compat_arr[raw])
+        self._photo_fidx[pid] = fidx
+        self._photo_bucket_cache[pid] = buckets
+        self._photo_bits[pid] = bits
+        self._photo_sel[pid] = sel
+        return fidx, buckets, bits, sel
+
     def _buckets_for(self, photo: Photo) -> np.ndarray:
         """Angular bucket of the camera as seen from each observed feature.
 
@@ -282,32 +460,22 @@ class IncrementalSfm:
         viewpoint-insensitive: the imprinted pattern is identical in every
         photo of the set).
         """
-        cached = self._photo_bucket_cache.get(photo.photo_id)
-        if cached is not None:
-            return cached
-        n_buckets = self._config.view_compat_buckets
-        cx = photo.true_pose.position.x
-        cy = photo.true_pose.position.y
-        buckets = np.full(photo.n_features, 255, dtype=np.uint8)
-        for i, fid in enumerate(photo.feature_ids):
-            fid = int(fid)
-            if ARTIFICIAL_FEATURE_BASE <= fid < REFLECTION_FEATURE_BASE:
-                continue  # wildcard
-            xy = self._feature_position_fast(fid)
-            if xy is None:
-                continue
-            angle = math.atan2(cy - xy[1], cx - xy[0])
-            buckets[i] = int((angle + math.pi) / (2.0 * math.pi) * n_buckets) % n_buckets
-        self._photo_bucket_cache[photo.photo_id] = buckets
-        return buckets
+        return self._photo_columns(photo)[1]
 
     def _compatible_overlap(self, photo: Photo) -> int:
         """Matches against the model restricted to compatible viewpoints.
 
         A real pipeline cannot match descriptors across wide baselines: a
         feature only matches if some registered photo observed it from a
-        nearby direction.
+        nearby direction. Columnar path: one gather + bitmask intersect
+        over the photo's dense feature indices (a zero view mask means the
+        feature is unknown to the model, so ``mask & sel`` is zero for
+        exactly the observations the original dict loop skipped).
         """
+        if not self._scratch:
+            fidx, _buckets, _bits, sel = self._photo_columns(photo)
+            masks = self._cols.view_mask[fidx]
+            return int(np.count_nonzero(masks & sel))
         buckets = self._buckets_for(photo)
         masks = self._view_masks
         compat = self._compat_masks
@@ -316,7 +484,7 @@ class IncrementalSfm:
             mask = masks.get(int(fid))
             if mask is None:
                 continue
-            if bucket == 255 or mask & compat[bucket]:
+            if bucket == WILDCARD_BUCKET or mask & compat[bucket]:
                 count += 1
         return count
 
@@ -344,23 +512,49 @@ class IncrementalSfm:
         return 2
 
     def _register(self, photo: Photo) -> None:
-        self._pending.remove(photo.photo_id)
+        pid = photo.photo_id
+        fidx, buckets, bits, _sel = self._photo_columns(photo)
+        self._pending.remove(pid)
+        self._dirty_pending.discard(pid)
         pose = self._recover_pose(photo)
-        self._registered[photo.photo_id] = RecoveredCamera(
-            photo_id=photo.photo_id,
+        self._registered[pid] = RecoveredCamera(
+            photo_id=pid,
             pose=pose,
             intrinsics=photo.exif.intrinsics(),
             n_inliers=photo.n_features,
             observed_feature_ids=photo.feature_ids.copy(),
         )
-        buckets = self._buckets_for(photo)
-        for fid, bucket in zip(photo.feature_ids, buckets):
-            fid = int(fid)
-            self._feature_obs.setdefault(fid, set()).add(photo.photo_id)
-            if bucket == 255:
-                self._view_masks[fid] = (1 << self._config.view_compat_buckets) - 1
-            else:
-                self._view_masks[fid] = self._view_masks.get(fid, 0) | (1 << int(bucket))
+        self._registration_log.append(pid)
+        self._new_camera_ids.append(pid)
+        for fid in photo.feature_ids:
+            self._feature_obs.setdefault(int(fid), set()).add(pid)
+        if self._scratch:
+            full = self._full_mask
+            for fid, bucket in zip(photo.feature_ids, buckets):
+                fid = int(fid)
+                if bucket == WILDCARD_BUCKET:
+                    self._view_masks[fid] = full
+                else:
+                    self._view_masks[fid] = self._view_masks.get(fid, 0) | (1 << int(bucket))
+            return
+        # Columnar path: vectorized mask update + wavefront propagation.
+        cols = self._cols
+        old = cols.view_mask[fidx].copy()
+        np.bitwise_or.at(cols.view_mask, fidx, bits)
+        np.add.at(cols.obs_count, fidx, 1)
+        self._dirty_features.append(fidx)
+        gained = fidx[cols.view_mask[fidx] != old]
+        if gained.shape[0]:
+            dirty = self._dirty_pending
+            observers = self._pending.observers_view
+            dirtied = 0
+            for fid in cols.ids_of(np.unique(gained)):
+                for other in observers(int(fid)):
+                    if other not in dirty:
+                        dirty.add(other)
+                        dirtied += 1
+            if dirtied:
+                self._m_wave_dirtied.inc(dirtied)
 
     def _recover_pose(self, photo: Photo) -> CameraPose:
         """True pose + calibrated recovery noise (bundle-adjustment error)."""
@@ -376,25 +570,45 @@ class IncrementalSfm:
         return CameraPose(true.position + offset, yaw, true.height_m)
 
     def _triangulate(self) -> None:
-        """Create points for features with enough registered observations."""
-        for fid, observers in self._feature_obs.items():
-            if fid in self._points:
-                continue
-            if len(observers) < self._config.min_views_per_point:
-                continue
-            position = self._feature_position(fid)
-            if position is None:
-                continue
-            noisy = self._noisy_position(fid, position, observers)
-            self._m_points_new.inc()
-            self._h_point_views.record(len(observers))
-            self._points[fid] = CloudPoint(
-                feature_id=fid,
-                x=noisy[0],
-                y=noisy[1],
-                z=noisy[2],
-                n_views=len(observers),
-            )
+        """Create points for features with enough registered observations.
+
+        Columnar path: only features whose observer set grew (or whose
+        oracle position was registered) since the last fixpoint are
+        checked; the escape hatch scans the whole observation table as the
+        original engine did.
+        """
+        min_views = self._config.min_views_per_point
+        if self._scratch:
+            cols = self._cols
+            for fid, observers in self._feature_obs.items():
+                dense = cols.index_of(fid)
+                if dense is not None and cols.has_point[dense]:
+                    continue
+                if len(observers) < min_views:
+                    continue
+                self._make_point(fid, dense, observers)
+            return
+        if not self._dirty_features:
+            return
+        dirty = np.unique(np.concatenate(self._dirty_features))
+        self._dirty_features.clear()
+        self._m_tri_dirty.inc(int(dirty.shape[0]))
+        cols = self._cols
+        ready = dirty[(~cols.has_point[dirty]) & (cols.obs_count[dirty] >= min_views)]
+        for dense in ready:
+            fid = int(cols.ids[dense])
+            self._make_point(fid, int(dense), self._feature_obs[fid])
+
+    def _make_point(self, fid: int, dense: Optional[int], observers: Set[int]) -> None:
+        position = self._feature_position(fid)
+        if position is None:
+            return  # artificial feature whose oracle position is not known yet
+        noisy = self._noisy_position(fid, position, observers)
+        self._m_points_new.inc()
+        self._h_point_views.record(len(observers))
+        self._store.append(fid, noisy[0], noisy[1], noisy[2], len(observers))
+        if dense is not None:
+            self._cols.has_point[dense] = True
 
     def _feature_position(self, fid: int) -> Optional[Vec3]:
         if fid >= ARTIFICIAL_FEATURE_BASE:

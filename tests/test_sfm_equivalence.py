@@ -1,0 +1,455 @@
+"""Differential oracle: the columnar SfM wavefront vs the from-scratch path.
+
+The columnar engine (dense feature interning, registration wavefront,
+dirty-feature triangulation, O(delta) snapshots) and the incremental SOR
+filter replace per-batch O(model) scans in the pipeline. Their correctness
+contract is *bit-exactness* against the preserved from-scratch
+implementations — not "close enough". This suite enforces it:
+
+* hypothesis drives random batch partitions of a real photo pool through
+  both engine strategies and pins registration order, reports and cloud
+  arrays identical;
+* a targeted scenario pins the rig-registration count (`newly_registered`
+  used to report at most 1 when `_register_rigs` registered several);
+* the vectorized view-compat bucket computation is pinned against the
+  original scalar formula;
+* `IncrementalSorFilter` masks are pinned bit-identical to `sor_mask` on
+  grown clouds *and* on contract-violating inputs (moved/removed points);
+* vectorized `PointCloud.subset` / `merged_with` are pinned against a
+  per-point reference implementation;
+* two full pipelines (incremental vs ``full_rebuild=True``) must emit
+  byte-identical filtered clouds, reports and coverage, batch for batch.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.annotation.textures import FEATURES_PER_TEXTURE
+from repro.camera import GALAXY_S7
+from repro.core.pipeline import SnapTaskPipeline
+from repro.geometry import Vec2, Vec3
+from repro.sfm import (
+    IncrementalSfm,
+    IncrementalSorFilter,
+    PointCloud,
+    sor_filter,
+    sor_filter_incremental,
+    sor_mask,
+)
+from repro.sfm.pointcloud import CloudPoint
+from repro.simkit import RngStream
+from repro.venue.features import ARTIFICIAL_FEATURE_BASE
+
+
+def sweep(bench, x, y, step=8.0):
+    return list(bench.capture.sweep(Vec2(x, y), GALAXY_S7, step, blur=0.0))
+
+
+@pytest.fixture(scope="module")
+def photo_pool(bench):
+    """A fixed, registration-rich photo pool spanning several rooms."""
+    photos = []
+    for x, y in [(3, 3), (5, 5), (8, 3.7), (10.5, 6.4), (6.0, 4.5), (12.0, 5.0)]:
+        photos.extend(sweep(bench, x, y))
+    return photos
+
+
+def run_engine(bench, batches, full_rebuild):
+    engine = IncrementalSfm(
+        bench.world,
+        bench.config.sfm,
+        RngStream(4242, "sfm-equiv"),
+        full_rebuild=full_rebuild,
+    )
+    reports = [engine.add_photos(batch) for batch in batches]
+    return engine, reports
+
+
+def assert_engines_identical(bench, batches):
+    inc, inc_reports = run_engine(bench, batches, full_rebuild=False)
+    scr, scr_reports = run_engine(bench, batches, full_rebuild=True)
+    assert inc.full_rebuild is False and scr.full_rebuild is True
+    # Same photos registered, in the same order.
+    assert inc.registration_log() == scr.registration_log()
+    assert inc.registered_ids() == scr.registered_ids()
+    assert inc.pending_ids() == scr.pending_ids()
+    # Per-batch reports (deltas included) identical.
+    for a, b in zip(inc_reports, scr_reports):
+        assert a == b
+    # Clouds bit-identical: ids, positions, view counts, camera poses.
+    m_inc, m_scr = inc.model(), scr.model()
+    np.testing.assert_array_equal(m_inc.cloud.feature_ids, m_scr.cloud.feature_ids)
+    np.testing.assert_array_equal(m_inc.cloud.xyz, m_scr.cloud.xyz)
+    np.testing.assert_array_equal(m_inc.cloud.view_counts, m_scr.cloud.view_counts)
+    assert [c.photo_id for c in m_inc.cameras] == [c.photo_id for c in m_scr.cameras]
+    for ca, cb in zip(m_inc.cameras, m_scr.cameras):
+        assert ca.pose == cb.pose
+        assert ca.n_inliers == cb.n_inliers
+        np.testing.assert_array_equal(ca.observed_feature_ids, cb.observed_feature_ids)
+    return inc, scr
+
+
+class TestWavefrontEquivalence:
+    """Wavefront vs full-rescan fixpoint on real photos."""
+
+    def test_single_batch(self, bench, photo_pool):
+        assert_engines_identical(bench, [photo_pool])
+
+    def test_photo_at_a_time(self, bench, photo_pool):
+        # Worst case for the wavefront bookkeeping: 1-photo batches force
+        # maximal pending-retry traffic.
+        subset = photo_pool[:40]
+        assert_engines_identical(bench, [[p] for p in subset])
+
+    @settings(max_examples=8, deadline=None)
+    @given(data=st.data())
+    def test_random_batch_partitions(self, bench, photo_pool, data):
+        """Any partition of the pool registers the same photos in the same
+        order as the from-scratch fixpoint — the wavefront invariant."""
+        photos = list(photo_pool)
+        batches = []
+        i = 0
+        while i < len(photos):
+            n = data.draw(st.integers(1, 25), label="batch-size")
+            batches.append(photos[i : i + n])
+            i += n
+        inc, _scr = assert_engines_identical(bench, batches)
+        assert inc.n_registered > 20, "vacuous: pool failed to register"
+
+    def test_artificial_features_requeue_triangulation(self, bench, photo_pool):
+        """Oracle positions arriving *after* the observers registered must
+        re-trigger triangulation identically on both paths."""
+        fid = ARTIFICIAL_FEATURE_BASE + 3
+        base = sweep(bench, 3, 3)
+        imprinted = [
+            p.with_extra_observations(np.array([fid]), np.array([[50.0, 50.0]]), "t")
+            for p in sweep(bench, 3.2, 3.2)
+        ]
+        followup = sweep(bench, 3.4, 3.4)
+
+        def run(full_rebuild):
+            engine = IncrementalSfm(
+                bench.world,
+                bench.config.sfm,
+                RngStream(77, "late-oracle"),
+                full_rebuild=full_rebuild,
+            )
+            engine.add_photos(base)
+            engine.add_photos(imprinted)  # observers register, no position yet
+            engine.register_artificial_features([fid], [Vec3(3.4, 3.3, 1.1)])
+            report = engine.add_photos(followup)
+            return engine, report
+
+        inc, r_inc = run(False)
+        scr, r_scr = run(True)
+        assert r_inc == r_scr
+        assert fid in set(int(f) for f in inc.model().cloud.feature_ids)
+        np.testing.assert_array_equal(
+            inc.model().cloud.xyz, scr.model().cloud.xyz
+        )
+
+
+class TestRigRegistrationCount:
+    """Pin the rig-undercount fix: `newly_registered` counts every photo
+    `_register_rigs` registered, not just one."""
+
+    def _rig_batch(self, bench, engine, base):
+        """Two pending photos registrable only jointly, as a texture rig."""
+        cfg = bench.config.sfm
+        model_photo = next(p for p in base if engine.is_registered(p.photo_id))
+        anchors = [int(f) for f in model_photo.feature_ids]
+        n_each = cfg.min_rig_anchor_matches // 2 + 1
+        assert len(anchors) >= 2 * n_each
+        block0 = ARTIFICIAL_FEATURE_BASE  # texture block 0
+        texture_ids = np.arange(block0, block0 + cfg.rig_texture_matches)
+        # The annex room is visually isolated — neither photo overlaps the
+        # model on its own detections.
+        isolated = sweep(bench, 19.2, 15.4)[:2]
+        rig = []
+        for i, photo in enumerate(isolated):
+            extra = np.concatenate(
+                [texture_ids, np.asarray(anchors[i * n_each : (i + 1) * n_each])]
+            )
+            uv = np.tile([60.0, 60.0], (extra.shape[0], 1))
+            rig.append(photo.with_extra_observations(extra, uv, "rig"))
+        return rig
+
+    @pytest.mark.parametrize("full_rebuild", [False, True])
+    def test_rig_registrations_all_counted(self, bench, full_rebuild):
+        engine = IncrementalSfm(
+            bench.world,
+            bench.config.sfm,
+            RngStream(11, "rig-count"),
+            full_rebuild=full_rebuild,
+        )
+        base = sweep(bench, 3, 3)
+        engine.add_photos(base)
+        rig = self._rig_batch(bench, engine, base)
+        before = engine.n_registered
+        report = engine.add_photos(rig)
+        for photo in rig:
+            assert engine.is_registered(photo.photo_id), "rig did not register"
+        assert engine.n_registered == before + len(rig)
+        # The pinned bug: this used to report fewer than len(rig).
+        assert report.newly_registered == len(rig)
+        assert tuple(sorted(report.new_camera_ids)) == tuple(
+            sorted(p.photo_id for p in rig)
+        )
+
+
+class TestBucketVectorization:
+    """The vectorized arctan2/truncation bucket formula must reproduce the
+    original scalar loop bit-for-bit on real photos."""
+
+    def test_buckets_match_scalar_reference(self, bench, photo_pool):
+        engine = IncrementalSfm(
+            bench.world, bench.config.sfm, RngStream(5, "buckets")
+        )
+        n = bench.config.sfm.view_compat_buckets
+        for photo in photo_pool[:25]:
+            vec = engine._buckets_for(photo)
+            cx = photo.true_pose.position.x
+            cy = photo.true_pose.position.y
+            for j, fid in enumerate(photo.feature_ids):
+                fid = int(fid)
+                if ARTIFICIAL_FEATURE_BASE <= fid:
+                    continue  # pool photos carry no artificial features
+                feature = bench.world.feature(fid)
+                angle = math.atan2(
+                    cy - feature.position.y, cx - feature.position.x
+                )
+                expected = int((angle + math.pi) / (2.0 * math.pi) * n) % n
+                assert int(vec[j]) == expected
+
+
+# ---------------------------------------------------------------------------
+# Incremental SOR vs the from-scratch oracle
+# ---------------------------------------------------------------------------
+
+
+def _cloud_from_xyz(ids, xyz):
+    return PointCloud.from_columns(
+        np.asarray(ids, dtype=int),
+        np.asarray(xyz, dtype=float),
+        np.full(len(ids), 3, dtype=int),
+    )
+
+
+class TestIncrementalSorEquivalence:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        n_base=st.integers(0, 120),
+        growth=st.lists(st.integers(0, 60), min_size=1, max_size=6),
+        k=st.integers(2, 10),
+    )
+    def test_grown_clouds_bit_identical(self, seed, n_base, growth, k):
+        """Masks match `sor_mask` exactly on every step of a growing,
+        id-sorted cloud — the zero-staleness bound."""
+        rng = np.random.default_rng(seed)
+        state = IncrementalSorFilter(n_neighbors=k, std_ratio=2.0)
+        total = n_base + sum(growth)
+        # Pre-draw ids/positions, then reveal prefixes (id-sorted growth).
+        all_ids = np.sort(
+            rng.choice(10 * max(1, total), size=max(1, total), replace=False)
+        )
+        all_xyz = np.where(
+            rng.random((max(1, total), 3)) < 0.15,
+            rng.normal(0.0, 40.0, (max(1, total), 3)),  # sprinkle outliers
+            rng.normal(0.0, 1.0, (max(1, total), 3)),
+        )
+        sizes = np.cumsum([n_base] + growth)
+        for size in sizes:
+            size = int(size)
+            cloud = _cloud_from_xyz(all_ids[:size], all_xyz[:size])
+            expected = (
+                sor_mask(cloud.xyz, k, 2.0)
+                if size
+                else np.ones(0, dtype=bool)
+            )
+            np.testing.assert_array_equal(state.mask(cloud), expected)
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_contract_violations_fall_back_exactly(self, seed):
+        """Moved, removed and reordered points are served by a transparent
+        full recompute — still bit-identical to the oracle."""
+        rng = np.random.default_rng(seed)
+        state = IncrementalSorFilter(n_neighbors=4)
+        ids = np.arange(0, 160, 2)
+        xyz = rng.normal(0.0, 1.0, (80, 3))
+        first = _cloud_from_xyz(ids, xyz)
+        np.testing.assert_array_equal(state.mask(first), sor_mask(xyz, 4, 2.0))
+        # Move one point.
+        moved = xyz.copy()
+        moved[rng.integers(0, 80)] += 5.0
+        cloud = _cloud_from_xyz(ids, moved)
+        np.testing.assert_array_equal(state.mask(cloud), sor_mask(moved, 4, 2.0))
+        # Remove a third of the points.
+        keep = rng.random(80) > 0.33
+        cloud = _cloud_from_xyz(ids[keep], moved[keep])
+        np.testing.assert_array_equal(
+            state.mask(cloud), sor_mask(moved[keep], 4, 2.0)
+        )
+        # Shrink below k: all-inlier short-circuit.
+        tiny = _cloud_from_xyz(ids[:3], moved[:3])
+        assert state.mask(tiny).all()
+
+    def test_amortized_rebuild_still_exact(self):
+        """Grow far past the rebuild threshold; every mask stays exact and
+        the main tree is eventually rebuilt."""
+        rng = np.random.default_rng(3)
+        state = IncrementalSorFilter(n_neighbors=6, rebuild_fraction=0.1)
+        n_total = 900
+        ids = np.arange(n_total)
+        xyz = rng.normal(0.0, 2.0, (n_total, 3))
+        for size in range(50, n_total + 1, 50):
+            cloud = _cloud_from_xyz(ids[:size], xyz[:size])
+            np.testing.assert_array_equal(
+                state.mask(cloud), sor_mask(xyz[:size], 6, 2.0)
+            )
+
+    def test_filter_function_matches_sor_filter(self):
+        rng = np.random.default_rng(9)
+        xyz = rng.normal(0.0, 1.0, (120, 3))
+        cloud = _cloud_from_xyz(np.arange(120), xyz)
+        state = IncrementalSorFilter()
+        got = sor_filter_incremental(cloud, state)
+        want = sor_filter(cloud)
+        np.testing.assert_array_equal(got.feature_ids, want.feature_ids)
+        np.testing.assert_array_equal(got.xyz, want.xyz)
+        # Second call reuses the cache but must stay identical.
+        again = sor_filter_incremental(cloud, state)
+        np.testing.assert_array_equal(again.feature_ids, want.feature_ids)
+
+
+# ---------------------------------------------------------------------------
+# Vectorized PointCloud ops vs per-point reference semantics
+# ---------------------------------------------------------------------------
+
+
+def reference_merge(a: PointCloud, b: PointCloud) -> list:
+    """The original per-point dict merge: b wins on id collision, result
+    sorted by feature id."""
+    by_id = {p.feature_id: p for p in a.points}
+    by_id.update({p.feature_id: p for p in b.points})
+    return [by_id[k] for k in sorted(by_id)]
+
+
+cloud_strategy = st.lists(
+    st.tuples(
+        st.integers(0, 50),
+        st.floats(-100, 100, allow_nan=False),
+        st.floats(-100, 100, allow_nan=False),
+        st.floats(-100, 100, allow_nan=False),
+        st.integers(3, 9),
+    ),
+    max_size=40,
+).map(
+    lambda rows: PointCloud(
+        [
+            CloudPoint(fid, x, y, z, v)
+            for fid, (_, x, y, z, v) in (
+                # unique, sorted ids as the engine guarantees
+                (lambda d: sorted(d.items()))(
+                    {r[0]: r for r in rows}
+                )
+            )
+        ]
+    )
+)
+
+
+class TestPointCloudVectorized:
+    @settings(max_examples=60, deadline=None)
+    @given(cloud=cloud_strategy, seed=st.integers(0, 1000))
+    def test_subset_matches_reference(self, cloud, seed):
+        mask = np.random.default_rng(seed).random(len(cloud)) < 0.5
+        got = cloud.subset(mask)
+        want = [p for p, m in zip(cloud.points, mask) if m]
+        assert list(got.points) == want
+        np.testing.assert_array_equal(got.xyz, cloud.xyz[mask])
+
+    @settings(max_examples=60, deadline=None)
+    @given(a=cloud_strategy, b=cloud_strategy)
+    def test_merged_with_matches_reference(self, a, b):
+        got = a.merged_with(b)
+        want = reference_merge(a, b)
+        assert list(got.points) == want
+
+    def test_merge_empty_cases(self):
+        a = PointCloud([CloudPoint(1, 0.0, 0.0, 0.0, 3)])
+        e = PointCloud.empty()
+        assert list(e.merged_with(e).points) == []
+        assert list(a.merged_with(e).points) == list(a.points)
+        assert list(e.merged_with(a).points) == list(a.points)
+
+    def test_other_wins_on_collision(self):
+        a = PointCloud([CloudPoint(7, 0.0, 0.0, 0.0, 3)])
+        b = PointCloud([CloudPoint(7, 9.0, 9.0, 9.0, 5)])
+        merged = a.merged_with(b)
+        assert merged.points[0] == CloudPoint(7, 9.0, 9.0, 9.0, 5)
+
+
+# ---------------------------------------------------------------------------
+# Full pipeline: incremental vs full_rebuild, byte for byte
+# ---------------------------------------------------------------------------
+
+
+class TestPipelineDifferential:
+    def test_pipelines_bit_identical(self, bench):
+        """Algorithm 1 end-to-end: the columnar engine + incremental SOR
+        must leave no trace — clouds, reports, tasks and coverage match the
+        from-scratch pipeline on every batch."""
+        photos = self._photos(bench)
+        outcomes = {}
+        for label, full_rebuild in (("inc", False), ("scratch", True)):
+            pipeline = SnapTaskPipeline(
+                bench.world,
+                bench.config,
+                bench.spec,
+                bench.venue.entrance,
+                RngStream(1234, "sfm-pipe-equiv"),
+                site_mask=bench.ground_truth.region_mask,
+                full_rebuild=full_rebuild,
+            )
+            chunk = 25
+            outcomes[label] = [
+                pipeline.process_batch(photos[i : i + chunk])
+                for i in range(0, len(photos), chunk)
+            ]
+        assert len(outcomes["inc"]) > 2
+        for a, b in zip(outcomes["inc"], outcomes["scratch"]):
+            assert a.report == b.report
+            # The *filtered* cloud: pins IncrementalSorFilter == sor_filter
+            # on the live reconstruction, and the O(delta) snapshots.
+            np.testing.assert_array_equal(
+                a.model.cloud.feature_ids, b.model.cloud.feature_ids
+            )
+            np.testing.assert_array_equal(a.model.cloud.xyz, b.model.cloud.xyz)
+            np.testing.assert_array_equal(
+                a.model.cloud.view_counts, b.model.cloud.view_counts
+            )
+            assert [c.photo_id for c in a.model.cameras] == [
+                c.photo_id for c in b.model.cameras
+            ]
+            assert a.coverage_cells == b.coverage_cells
+            assert len(a.new_tasks) == len(b.new_tasks)
+
+    @staticmethod
+    def _photos(bench):
+        pipeline = SnapTaskPipeline(
+            bench.world,
+            bench.config,
+            bench.spec,
+            bench.venue.entrance,
+            RngStream(1235, "sfm-pipe-photos"),
+            site_mask=bench.ground_truth.region_mask,
+        )
+        campaign = bench.make_guided_campaign(pipeline, 2)
+        return campaign.bootstrap_photos()

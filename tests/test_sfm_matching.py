@@ -94,12 +94,15 @@ class TestMatchIndex:
         index.add(take(bench, 18.8, 4.7, 1.57))
         assert index.best_seed_pair(min_matches=30) is None
 
-    def test_known_overlap(self, bench):
+    def test_observers_view(self, bench):
         index = MatchIndex()
         a = take(bench, 10.0, 1.7, -1.57)
         index.add(a)
-        known = set(int(f) for f in a.feature_ids[:10])
-        assert index.known_feature_overlap(a, known) == len(known)
+        fid = int(a.feature_ids[0])
+        observers = index.observers_view(fid)
+        assert a.photo_id in observers
+        # Unknown features yield an empty (non-copying) view.
+        assert len(index.observers_view(-1)) == 0
 
 
 def make_cloud(points):
