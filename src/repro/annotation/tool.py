@@ -61,6 +61,7 @@ class AnnotationTaskResult:
     """Everything one annotation task produced."""
 
     task: Task
+    #: Surface the participant targeted; ``-1`` when the venue offered none.
     target_surface_id: int
     photos: Tuple[Photo, ...]
     n_annotations: int
@@ -137,9 +138,16 @@ class AnnotationCampaign:
 
     def collect_photos(
         self, location: Vec2, intrinsics: Intrinsics, timestamp_s: float = 0.0
-    ) -> Tuple[Surface, List[Photo]]:
-        """The on-site participant takes T photos facing the surface."""
-        surface = self._venue.nearest_featureless_surface(location)
+    ) -> Tuple[Optional[Surface], List[Photo]]:
+        """The on-site participant takes T photos facing the surface.
+
+        When the venue has no featureless surface at all (generated venues
+        may have none), the participant has nothing to face; they photograph
+        the spot itself and the returned surface is ``None``.
+        """
+        surface = self._venue.find_featureless_surface(location)
+        if surface is None:
+            return None, self._spot_photos(location, intrinsics, timestamp_s)
         target = surface.segment.midpoint
         base = self._stand_base(surface, location)
         along = surface.segment.direction
@@ -177,8 +185,12 @@ class AnnotationCampaign:
         The mobile client pans away from the surface between the annotated
         frames, so the uploaded batch also contains interior views that
         register normally and share view wedges with the frontal shots.
+        Without a featureless surface there is no stand arc to pan from,
+        so no context shots are taken.
         """
-        surface = self._venue.nearest_featureless_surface(location)
+        surface = self._venue.find_featureless_surface(location)
+        if surface is None:
+            return []
         target = surface.segment.midpoint
         base = self._stand_base(surface, location)
         photos: List[Photo] = []
@@ -208,11 +220,15 @@ class AnnotationCampaign:
         self._task_counter += 1
         task_rng = self._rng.child(f"task-{self._task_counter}")
 
-        nearest = self._venue.nearest_featureless_surface(task.location)
-        if nearest.segment.distance_to_point(task.location) > MAX_SURFACE_DISTANCE_M:
-            # The participant finds no smooth surface near the task spot:
-            # the stall was not caused by featureless geometry. Report an
-            # empty task so the backend can write the area off.
+        nearest = self._venue.find_featureless_surface(task.location)
+        if (
+            nearest is None
+            or nearest.segment.distance_to_point(task.location) > MAX_SURFACE_DISTANCE_M
+        ):
+            # The participant finds no smooth surface near the task spot
+            # (or the venue has none at all): the stall was not caused by
+            # featureless geometry. Report an empty task so the backend can
+            # write the area off.
             return self._empty_result(task, nearest, pipeline, intrinsics, timestamp_s)
 
         surface, photos = self.collect_photos(task.location, intrinsics, timestamp_s)
@@ -239,21 +255,15 @@ class AnnotationCampaign:
             outcome=outcome,
         )
 
-    def _empty_result(
-        self,
-        task: Task,
-        surface: Surface,
-        pipeline: Optional[SnapTaskPipeline],
-        intrinsics: Intrinsics,
-        timestamp_s: float,
-    ) -> AnnotationTaskResult:
-        """A no-op annotation outcome: photos of the spot, no annotations."""
-        from .imprint import ImprintResult
-
-        photos = [
+    def _spot_photos(
+        self, location: Vec2, intrinsics: Intrinsics, timestamp_s: float
+    ) -> List[Photo]:
+        """A rotating sweep at the task spot: the participant documents the
+        area even though there is nothing to annotate."""
+        return [
             self._capture.take_photo(
                 self._capture_pose(
-                    self._venue.nearest_traversable(task.location), task.location + Vec2(1.0, 0.0)
+                    self._venue.nearest_traversable(location), location + Vec2(1.0, 0.0)
                 ).rotated(i * 1.5),
                 intrinsics,
                 blur=0.04,
@@ -262,12 +272,25 @@ class AnnotationCampaign:
             )
             for i in range(self._config.tasks.annotation_photos_per_task)
         ]
+
+    def _empty_result(
+        self,
+        task: Task,
+        surface: Optional[Surface],
+        pipeline: Optional[SnapTaskPipeline],
+        intrinsics: Intrinsics,
+        timestamp_s: float,
+    ) -> AnnotationTaskResult:
+        """A no-op annotation outcome: photos of the spot, no annotations."""
+        from .imprint import ImprintResult
+
+        photos = self._spot_photos(task.location, intrinsics, timestamp_s)
         outcome = None
         if pipeline is not None:
             outcome = pipeline.process_batch(photos, task)
         return AnnotationTaskResult(
             task=task,
-            target_surface_id=surface.surface_id,
+            target_surface_id=surface.surface_id if surface is not None else -1,
             photos=tuple(photos),
             n_annotations=0,
             fused_objects=(),

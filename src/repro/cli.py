@@ -11,6 +11,9 @@ Commands:
 * ``trace``     — run the deployment with telemetry enabled and dump
                    ``trace.json`` (Perfetto), ``metrics.json`` and
                    ``BENCH_pipeline.json``
+* ``fuzz``      — deterministic simulation-testing campaigns: seeded
+                   random scenarios under the live invariant registry,
+                   with failing-seed shrinking and replayable artifacts
 """
 
 from __future__ import annotations
@@ -159,6 +162,77 @@ def cmd_export(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    from .testkit import MUTATIONS, load_artifact, replay_artifact, run_fuzz
+
+    if args.replay:
+        doc = load_artifact(args.replay)
+        print(f"replaying {args.replay} (recorded failure: {doc['failure']})")
+        result = replay_artifact(doc, check_determinism=not args.no_determinism)
+        print(f"replay outcome: {result.label}")
+        if result.violation is not None:
+            print(f"  {result.violation}")
+        if result.crash is not None:
+            print(f"  {result.crash}")
+        if result.determinism_detail is not None:
+            print(f"  {result.determinism_detail}")
+        if result.label == doc["failure"]:
+            print("failure reproduced")
+            return 1
+        print("failure did NOT reproduce (fixed, or environment drift)")
+        return 0
+
+    if args.mutate is not None and args.mutate not in MUTATIONS:
+        print(f"unknown mutation {args.mutate!r}; available: {sorted(MUTATIONS)}")
+        return 2
+
+    summary = run_fuzz(
+        campaigns=args.campaigns,
+        master_seed=args.seed,
+        mutation=args.mutate,
+        shrink=not args.no_shrink,
+        check_determinism=not args.no_determinism,
+        scratch_twin_every=args.scratch_twin_every,
+        artifact_dir=args.artifacts,
+        max_failures=args.max_failures,
+        progress=print,
+    )
+    ran = summary.passed + len(summary.failures)
+    print(
+        f"\n{ran} campaigns: {summary.passed} ok, {len(summary.failures)} failed "
+        f"({summary.checks_run} invariant checks, "
+        f"{summary.checkpoints_run} oracle checkpoints)"
+    )
+    for label, count in sorted(summary.labels.items()):
+        print(f"  {label}: {count}")
+    for failure in summary.failures:
+        print(f"\nfailing seed {failure.result.scenario.seed}: {failure.result.label}")
+        print(f"  scenario: {failure.result.scenario.describe()}")
+        if failure.shrink_steps:
+            print(
+                f"  shrunk in {failure.shrink_runs} runs: "
+                f"{', '.join(failure.shrink_steps)}"
+            )
+        if failure.result.violation is not None:
+            print(f"  {failure.result.violation}")
+        if failure.result.crash is not None:
+            print(f"  crash: {failure.result.crash}")
+        if failure.result.determinism_detail is not None:
+            print(f"  {failure.result.determinism_detail}")
+        if failure.artifact_path is not None:
+            print(f"  artifact: {failure.artifact_path}")
+    if args.mutate is not None:
+        expected = f"invariant:{MUTATIONS[args.mutate].expected_invariant}"
+        caught = any(f.result.label == expected for f in summary.failures)
+        print(
+            f"\nmutation {args.mutate!r}: "
+            + (f"caught by {expected}" if caught else f"NOT caught (want {expected})")
+        )
+        # In mutation mode the *failure* is the success condition.
+        return 0 if caught else 1
+    return 0 if summary.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -190,6 +264,38 @@ def build_parser() -> argparse.ArgumentParser:
     p_trace.add_argument("--clients", type=int, default=3)
     p_trace.add_argument("--until", type=float, default=20_000.0)
     p_trace.add_argument("--output", default="obs-out")
+
+    p_fuzz = sub.add_parser(
+        "fuzz", help="deterministic simulation-testing campaigns (DST)"
+    )
+    p_fuzz.add_argument("--campaigns", type=int, default=20)
+    p_fuzz.add_argument(
+        "--seed", type=int, default=0, help="master fuzz seed (campaign seeds derive)"
+    )
+    p_fuzz.add_argument(
+        "--mutate",
+        default=None,
+        help="run under a planted bug; the fuzz succeeds iff an invariant catches it",
+    )
+    p_fuzz.add_argument(
+        "--artifacts",
+        default=None,
+        help="directory for failing-seed artifacts (written on failure)",
+    )
+    p_fuzz.add_argument(
+        "--replay",
+        default=None,
+        help="re-run a failing-seed artifact instead of fuzzing",
+    )
+    p_fuzz.add_argument(
+        "--scratch-twin-every",
+        type=int,
+        default=0,
+        help="diff every N-th campaign against its full_rebuild=True twin",
+    )
+    p_fuzz.add_argument("--max-failures", type=int, default=3)
+    p_fuzz.add_argument("--no-shrink", action="store_true")
+    p_fuzz.add_argument("--no-determinism", action="store_true")
     return parser
 
 
@@ -200,6 +306,7 @@ _COMMANDS = {
     "deploy": cmd_deploy,
     "export": cmd_export,
     "trace": cmd_trace,
+    "fuzz": cmd_fuzz,
 }
 
 

@@ -25,7 +25,6 @@ attempt counters that drive annotation-task escalation.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from time import perf_counter
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..camera.photo import Photo
@@ -39,6 +38,7 @@ from ..mapping import (
     MapUpdate,
 )
 from ..obs import NULL_TELEMETRY, Telemetry
+from ..obs.wallclock import wall_now_s
 from ..sfm import (
     IncrementalSfm,
     IncrementalSorFilter,
@@ -150,6 +150,11 @@ class SnapTaskPipeline:
         return self._config
 
     @property
+    def site_mask(self):
+        """The venue region mask coverage is counted against (or None)."""
+        return self._site_mask
+
+    @property
     def spec(self) -> GridSpec:
         return self._spec
 
@@ -207,7 +212,7 @@ class SnapTaskPipeline:
         self._iteration += 1
         previous_coverage = self._coverage_cells
         obs_on = self._obs_on
-        t_total = perf_counter() if obs_on else 0.0
+        t_total = wall_now_s() if obs_on else 0.0
 
         t0 = t_total
         report = self._sfm.add_photos(photos)  # line 1
@@ -222,7 +227,7 @@ class SnapTaskPipeline:
             filtered_cloud = self._sor.filter(model.cloud)
         if obs_on:
             self._phase("registration", t0, photos=len(photos))
-            t0 = perf_counter()
+            t0 = wall_now_s()
         # Lines 3-5 via the incremental engine: the SfM deltas (new points
         # + new cameras, see ``report``) plus SOR churn dirty only a small
         # region of the maps; everything else is reused from the previous
@@ -240,7 +245,7 @@ class SnapTaskPipeline:
             self._phase(
                 "map_merge", t0, dirty_cells=map_update.dirty_obstacle_cells
             )
-            t0 = perf_counter()
+            t0 = wall_now_s()
 
         photos_added = report.any_registered
         quality: Optional[QualityReport] = None
@@ -357,7 +362,7 @@ class SnapTaskPipeline:
 
     def _phase(self, name: str, t0: float, **attrs) -> None:
         """Close one wall-time phase: histogram record + instant span."""
-        dt = perf_counter() - t0
+        dt = wall_now_s() - t0
         self._h_phase[name].record(dt)
         if self._tracer.enabled:
             self._tracer.instant(
@@ -373,7 +378,7 @@ class SnapTaskPipeline:
 
         Returns (areas, venue_covered).
         """
-        t0 = perf_counter() if self._obs_on else 0.0
+        t0 = wall_now_s() if self._obs_on else 0.0
         mask = ~self._written_off
         if self._site_mask is not None:
             mask = mask & self._site_mask

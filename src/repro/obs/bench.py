@@ -13,12 +13,12 @@ jsonschema dependency — and enforced by CI on every generated document.
 
 from __future__ import annotations
 
-import datetime
 import json
 import pathlib
 from typing import Dict, List, Optional, Union
 
 from ..errors import ObservabilityError
+from .wallclock import utc_now_iso
 
 PathLike = Union[str, pathlib.Path]
 
@@ -50,7 +50,7 @@ def bench_pipeline_document(registry, campaign: Optional[dict] = None) -> dict:
     """Build the ``BENCH_pipeline.json`` document from a live registry."""
     return {
         "schema": BENCH_PIPELINE_SCHEMA,
-        "generated_at": datetime.datetime.now(datetime.timezone.utc).isoformat(),
+        "generated_at": utc_now_iso(),
         "campaign": dict(campaign or {}),
         "phases": _phase_rows(registry),
         "metrics": registry.snapshot(),
@@ -157,7 +157,7 @@ def bench_sfm_document(
     """Build the ``BENCH_sfm.json`` document (see ``validate_bench_sfm``)."""
     return {
         "schema": BENCH_SFM_SCHEMA,
-        "generated_at": datetime.datetime.now(datetime.timezone.utc).isoformat(),
+        "generated_at": utc_now_iso(),
         "campaign": dict(campaign or {}),
         "batches": [dict(row) for row in batches],
         "summary": dict(summary),

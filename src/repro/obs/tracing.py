@@ -37,11 +37,11 @@ no-op returning shared singletons.
 from __future__ import annotations
 
 import itertools
-import time
 from collections import deque
 from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
 
 from ..errors import ObservabilityError
+from .wallclock import wall_now_s
 
 
 class Span:
@@ -69,7 +69,7 @@ class Span:
         self.parent_id = parent_id
         self.start_sim_s = start_sim_s
         self.end_sim_s: Optional[float] = None
-        self.start_wall_s = time.perf_counter()
+        self.start_wall_s = wall_now_s()
         self.end_wall_s: Optional[float] = None
         self.attrs = attrs
         self._tracer = tracer
@@ -88,7 +88,7 @@ class Span:
         if attrs:
             self.attrs.update(attrs)
         self.end_sim_s = self._tracer._clock()
-        self.end_wall_s = time.perf_counter()
+        self.end_wall_s = wall_now_s()
         self._tracer._finish(self)
 
     def __enter__(self) -> "Span":

@@ -1,0 +1,30 @@
+"""The sanctioned wall-clock shim — the only gate to host time.
+
+Determinism contract (DESIGN.md "Deterministic simulation testing"):
+simulation behaviour must be a pure function of (config, master seed).
+Host wall-clock reads are therefore confined to observability — phase
+timing histograms, span wall-duration annotations, report timestamps —
+and every such read goes through this module. The determinism lint test
+(``tests/test_determinism_lint.py``) AST-walks ``src/`` and fails any
+module outside this shim and ``simkit/rng.py`` that imports ``random``
+or touches ``time.time`` / ``time.perf_counter`` / ``datetime.now``
+directly.
+
+Nothing returned here may ever feed back into simulation state: wall
+times are recorded *about* the run, never *into* it.
+"""
+
+from __future__ import annotations
+
+import datetime
+import time
+
+
+def wall_now_s() -> float:
+    """Monotonic host time in seconds (observability only)."""
+    return time.perf_counter()
+
+
+def utc_now_iso() -> str:
+    """Wall-clock UTC timestamp for report/benchmark provenance fields."""
+    return datetime.datetime.now(datetime.timezone.utc).isoformat()

@@ -70,6 +70,14 @@ class BackendServer:
         self._batch_ledger: Dict[str, Optional[ProcessingResult]] = {}
         #: task_id -> pending lease-expiry event.
         self._lease_reaps: Dict[int, EventToken] = {}
+        #: task_id -> number of uploaded batches currently in simulated
+        #: SfM processing. A lease whose task has an in-flight batch is
+        #: *not* reaped: the photos arrived inside the lease window, so
+        #: the upload outcome (complete / fail), not the reaper, resolves
+        #: the assignment. This also pins the expiry==completion tie —
+        #: the reap event dispatches first (FIFO at equal timestamps) but
+        #: defers to the in-flight upload deterministically.
+        self._inflight_batches: Dict[int, int] = {}
         # Telemetry (shared with everything on this event loop).
         obs = simulator.telemetry
         self._tracer = obs.tracer
@@ -112,6 +120,20 @@ class BackendServer:
     def enqueue_task(self, task: Task) -> None:
         """Put a task on the dispatch queue (deployment bootstrap glue)."""
         self._task_queue.append(task)
+
+    # -- read-only ledger views (DST invariant checking) ---------------------------
+
+    def ledger_batch_ids(self) -> List[str]:
+        """Every batch id the dedup ledger has seen, in arrival order."""
+        return list(self._batch_ledger)
+
+    def ledger_entry(self, batch_id: str) -> Optional[ProcessingResult]:
+        """The ledgered result for ``batch_id`` (``None`` while in flight)."""
+        return self._batch_ledger.get(batch_id)
+
+    def inflight_batch_count(self, task_id: int) -> int:
+        """Uploaded batches of ``task_id`` currently in simulated processing."""
+        return self._inflight_batches.get(task_id, 0)
 
     # -- protocol handlers ---------------------------------------------------------
 
@@ -247,6 +269,10 @@ class BackendServer:
             return
         delay = PROCESSING_S_PER_PHOTO * len(batch.photos)
         arrived_at = self._sim.now
+        if batch.task_id is not None:
+            self._inflight_batches[batch.task_id] = (
+                self._inflight_batches.get(batch.task_id, 0) + 1
+            )
         self._sim.schedule(
             delay,
             lambda: self._process(batch, on_done, arrived_at),
@@ -285,6 +311,13 @@ class BackendServer:
 
     def _reap_lease(self, task_id: int) -> bool:
         """Requeue one task whose lease expired (client presumed gone)."""
+        if self._inflight_batches.get(task_id, 0) > 0:
+            # The photos made it to the server before (or exactly at) the
+            # expiry instant; the client did its job. Deterministically
+            # defer to the upload outcome — ``_process`` completes, fails
+            # or requeues the task and releases the lease either way.
+            self._store.bump("lease_reaps_deferred")
+            return False
         token = self._lease_reaps.pop(task_id, None)
         if token is not None and not token.executed:
             token.cancel()
@@ -333,6 +366,12 @@ class BackendServer:
         arrived_at: Optional[float] = None,
     ) -> None:
         t0 = arrived_at if arrived_at is not None else self._sim.now
+        if batch.task_id is not None:
+            live = self._inflight_batches.get(batch.task_id, 0) - 1
+            if live > 0:
+                self._inflight_batches[batch.task_id] = live
+            else:
+                self._inflight_batches.pop(batch.task_id, None)
         span = None
         if self._tracer.enabled:
             span = self._tracer.begin(

@@ -152,6 +152,11 @@ class BackendStore:
         self._leases.pop(task_id, None)
         self._assignments.pop(task_id, None)
         if task is None or task.status != TaskStatus.ASSIGNED:
+            # A lease outliving its task's ASSIGNED state is a ledger
+            # inconsistency (normally complete/fail/release pops it);
+            # dropping it silently would hide the bug from the DST
+            # invariant layer, so account for the cleanup.
+            self.bump("orphan_leases_dropped")
             return None
         pending = replace(task, status=TaskStatus.PENDING)
         self._tasks[task_id] = pending
@@ -189,6 +194,10 @@ class BackendStore:
 
     def assignee_of(self, task_id: int) -> Optional[str]:
         return self._assignments.get(task_id)
+
+    def tasks_with_status(self, status: TaskStatus) -> List[Task]:
+        """All recorded tasks currently in ``status`` (ledger-order)."""
+        return [t for t in self._tasks.values() if t.status == status]
 
     def tasks_by_status(self) -> Dict[str, int]:
         counts: Dict[str, int] = {}

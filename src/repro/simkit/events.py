@@ -103,6 +103,11 @@ class Simulator:
         self._sequence = itertools.count()
         self._processed = 0
         self._obs = telemetry if telemetry is not None else NULL_TELEMETRY
+        #: Post-dispatch probes (DST invariant checking). Probes run
+        #: synchronously after every executed event; they must be pure
+        #: observers — never schedule events, draw RNG, or mutate sim
+        #: state — so an attached probe cannot perturb the run it checks.
+        self._probes: List[Callable[[EventToken], None]] = []
         self._bind_telemetry()
 
     def _bind_telemetry(self) -> None:
@@ -163,6 +168,22 @@ class Simulator:
             for span in self._tracer.spans(category="sim.event")
         ]
 
+    def add_probe(self, probe: Callable[[EventToken], None]) -> None:
+        """Attach a post-dispatch observer (see ``_probes`` contract).
+
+        The probe receives the :class:`EventToken` of the event that just
+        ran. Probes are the simulation-testing hook: the DST invariant
+        registry (``repro.testkit``) attaches one to check system
+        invariants *during* the run, between events, when every subsystem
+        is in a quiescent state.
+        """
+        self._probes.append(probe)
+
+    def remove_probe(self, probe: Callable[[EventToken], None]) -> None:
+        """Detach a previously added probe (no-op if absent)."""
+        if probe in self._probes:
+            self._probes.remove(probe)
+
     def schedule(self, delay: float, handler: EventHandler, label: str = "") -> EventToken:
         """Schedule ``handler`` to run ``delay`` seconds from now.
 
@@ -210,6 +231,10 @@ class Simulator:
                 span.end()
             else:
                 event.handler()
+            if self._probes:
+                token = EventToken(event)
+                for probe in self._probes:
+                    probe(token)
             return True
         return False
 

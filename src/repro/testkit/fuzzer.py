@@ -1,0 +1,172 @@
+"""The campaign fuzzer: sample scenarios, run, shrink what fails.
+
+One fuzz *campaign* is: derive a scenario seed from the master seed,
+sample a :class:`Scenario`, run it under the live invariant registry
+with the determinism double-run, and — on failure — delta-debug the
+scenario to a minimal repro and write a replayable artifact.
+
+The campaign seeds are derived through named RNG streams
+(``fuzz-campaign-<i>`` under the master seed), so ``--seed 0
+--campaigns 50`` explores the same 50 scenarios on every machine, and
+campaign *i* can be re-run alone without running the first *i - 1*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Union
+
+from ..simkit.rng import RngStream
+from .artifact import make_artifact, write_artifact
+from .harness import CampaignResult, run_scenario
+from .mutations import mutation_probe
+from .scenario import Scenario
+from .shrink import DEFAULT_SHRINK_BUDGET, shrink_scenario
+
+ProgressFn = Callable[[str], None]
+
+
+def campaign_seed(master_seed: int, index: int) -> int:
+    """The scenario seed for campaign ``index`` under ``master_seed``."""
+    return int(RngStream(master_seed, f"fuzz-campaign-{index}").integers(0, 2**31))
+
+
+@dataclass
+class FuzzFailure:
+    """One failed campaign, after shrinking."""
+
+    index: int
+    seed: int
+    result: CampaignResult  # the *shrunk* reproduction
+    original: Scenario
+    shrink_steps: List[str]
+    shrink_runs: int
+    artifact_path: Optional[Path] = None
+
+
+@dataclass
+class FuzzSummary:
+    """Aggregate outcome of one fuzz run."""
+
+    master_seed: int
+    campaigns: int
+    passed: int = 0
+    failures: List[FuzzFailure] = field(default_factory=list)
+    checks_run: int = 0
+    checkpoints_run: int = 0
+    labels: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+def _shrink_failure(
+    result: CampaignResult,
+    mutation: Optional[str],
+    shrink_budget: int,
+    progress: Optional[ProgressFn],
+) -> "tuple[CampaignResult, List[str], int]":
+    """Minimise a failing scenario; return the shrunk repro run."""
+    target = result.label
+
+    def fails(candidate: Scenario) -> Optional[str]:
+        rerun = run_scenario(candidate, mutation=mutation, check_determinism=False)
+        return None if rerun.ok else rerun.label
+
+    shrunk = shrink_scenario(
+        result.scenario,
+        fails,
+        failure_label=target,
+        max_runs=shrink_budget,
+        progress=progress,
+    )
+    if not shrunk.shrunk:
+        return result, [], shrunk.runs_used
+    # Final authoritative run of the minimal scenario (records the
+    # violation at its new, earlier event).
+    final = run_scenario(shrunk.scenario, mutation=mutation, check_determinism=False)
+    if final.ok or final.label != target:  # shrinker raced a flaky repro
+        return result, [], shrunk.runs_used
+    return final, shrunk.steps, shrunk.runs_used
+
+
+def run_fuzz(
+    campaigns: int = 20,
+    master_seed: int = 0,
+    mutation: Optional[str] = None,
+    shrink: bool = True,
+    shrink_budget: int = DEFAULT_SHRINK_BUDGET,
+    check_determinism: bool = True,
+    scratch_twin_every: int = 0,
+    artifact_dir: Optional[Union[str, Path]] = None,
+    max_failures: int = 3,
+    progress: Optional[ProgressFn] = None,
+) -> FuzzSummary:
+    """Run a fuzz campaign batch (see module docstring).
+
+    ``scratch_twin_every=N`` additionally diffs every N-th campaign
+    against its ``full_rebuild=True`` twin (0 disables — the twin
+    doubles that campaign's cost). Stops early after ``max_failures``
+    distinct failures; each failure is shrunk and (when
+    ``artifact_dir`` is set) written as a replayable artifact.
+    """
+    summary = FuzzSummary(master_seed=master_seed, campaigns=campaigns)
+    say = progress or (lambda line: None)
+    for index in range(campaigns):
+        seed = campaign_seed(master_seed, index)
+        if mutation is not None and index == 0:
+            # Mutation mode leads with the crafted probe scenario: sampled
+            # campaigns rarely produce the traffic shapes (e.g. a
+            # post-completion duplicate upload) the planted bugs need.
+            scenario = mutation_probe()
+            seed = scenario.seed
+        else:
+            scenario = Scenario.sample(seed)
+        if scratch_twin_every and index % scratch_twin_every == 0:
+            scenario = replace(scenario, scratch_twin=True)
+        say(f"campaign {index + 1}/{campaigns} seed={seed}: {scenario.describe()}")
+        result = run_scenario(
+            scenario, mutation=mutation, check_determinism=check_determinism
+        )
+        summary.checks_run += result.checks_run
+        summary.checkpoints_run += result.checkpoints_run
+        summary.labels[result.label] = summary.labels.get(result.label, 0) + 1
+        if result.ok:
+            summary.passed += 1
+            continue
+
+        say(f"campaign {index + 1} FAILED ({result.label}); shrinking...")
+        original = scenario
+        steps: List[str] = []
+        runs_used = 0
+        if shrink:
+            result, steps, runs_used = _shrink_failure(
+                result, mutation, shrink_budget, say
+            )
+        failure = FuzzFailure(
+            index=index,
+            seed=seed,
+            result=result,
+            original=original,
+            shrink_steps=steps,
+            shrink_runs=runs_used,
+        )
+        if artifact_dir is not None:
+            doc = make_artifact(
+                result,
+                shrunk_from=original,
+                shrink_steps=steps,
+                shrink_runs=runs_used,
+                mutation=mutation,
+            )
+            failure.artifact_path = write_artifact(
+                doc, Path(artifact_dir) / f"seed-{seed}-{result.failure_kind}.json"
+            )
+            say(f"  wrote artifact {failure.artifact_path}")
+        summary.failures.append(failure)
+        if len(summary.failures) >= max_failures:
+            say(f"stopping after {max_failures} failures")
+            break
+    return summary

@@ -1,0 +1,177 @@
+"""Run one scenario under the live invariant registry.
+
+``run_scenario`` is the unit the fuzzer, the shrinker and the artifact
+replayer all share: build the deployment a scenario describes, attach
+the invariant registry, drive the event loop, and classify the outcome.
+
+Failure classes:
+
+* ``invariant`` — a live/checkpoint invariant fired mid-run (the run
+  stops at the exact offending event);
+* ``crash`` — the simulation raised (a protocol/SfM/simulation error
+  escaping the event loop is as much a bug as a broken invariant);
+* ``determinism`` — the same scenario run twice produced different
+  reports or metrics/trace digests;
+* ``scratch-twin`` — the incremental deployment and its
+  ``full_rebuild=True`` twin diverged.
+
+Every run is instrumented with an enabled :class:`Telemetry` bundle so
+the determinism check covers the metrics registry and span trace, not
+just the final report — telemetry is pinned inert by the obs
+differential suite, so checking under instrumentation checks the
+uninstrumented run too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..obs import Telemetry
+from .digests import (
+    diff_projections,
+    metrics_projection,
+    report_projection,
+    run_digests,
+    trace_projection,
+)
+from .invariants import InvariantRegistry, InvariantViolationError, Violation
+from .mutations import apply_mutation
+from .scenario import Scenario
+
+
+@dataclass
+class CampaignResult:
+    """Outcome of one scenario run (plus its verification twins)."""
+
+    scenario: Scenario
+    ok: bool
+    failure_kind: Optional[str] = None  # invariant | crash | determinism | scratch-twin
+    violation: Optional[Violation] = None
+    crash: Optional[str] = None
+    report: Optional[object] = None
+    digests: Dict[str, str] = field(default_factory=dict)
+    determinism_detail: Optional[str] = None
+    checks_run: int = 0
+    checkpoints_run: int = 0
+
+    @property
+    def label(self) -> str:
+        if self.ok:
+            return "ok"
+        if self.failure_kind == "invariant" and self.violation is not None:
+            return f"invariant:{self.violation.invariant}"
+        return self.failure_kind or "unknown"
+
+
+def _run_once(
+    scenario: Scenario,
+    mutation: Optional[str],
+    full_rebuild: bool = False,
+) -> Tuple[object, Telemetry, InvariantRegistry]:
+    """One instrumented, invariant-checked deployment run."""
+    telemetry = Telemetry.enable()
+    registry = InvariantRegistry(checkpoint_every=scenario.checkpoint_every)
+    with apply_mutation(mutation):
+        deployment = scenario.make_deployment(
+            telemetry=telemetry, full_rebuild=full_rebuild
+        )
+        registry.attach(deployment)
+        try:
+            report = deployment.run(
+                until_s=scenario.until_s, max_events=scenario.max_events
+            )
+        finally:
+            registry.detach()
+    return report, telemetry, registry
+
+
+def run_scenario(
+    scenario: Scenario,
+    mutation: Optional[str] = None,
+    check_determinism: bool = True,
+) -> CampaignResult:
+    """Run ``scenario`` and classify the outcome (see module docstring)."""
+    try:
+        report, telemetry, registry = _run_once(scenario, mutation)
+    except InvariantViolationError as exc:
+        return CampaignResult(
+            scenario=scenario,
+            ok=False,
+            failure_kind="invariant",
+            violation=exc.violation,
+        )
+    except Exception as exc:  # noqa: BLE001 — any escape from the sim is a finding
+        return CampaignResult(
+            scenario=scenario,
+            ok=False,
+            failure_kind="crash",
+            crash=f"{type(exc).__name__}: {exc}",
+        )
+
+    result = CampaignResult(
+        scenario=scenario,
+        ok=True,
+        report=report,
+        digests=run_digests(report, telemetry),
+        checks_run=registry.checks_run,
+        checkpoints_run=registry.checkpoints_run,
+    )
+
+    if check_determinism:
+        detail = _determinism_diff(scenario, mutation, report, telemetry)
+        if detail is not None:
+            result.ok = False
+            result.failure_kind = "determinism"
+            result.determinism_detail = detail
+            return result
+
+    if scenario.scratch_twin:
+        detail = _scratch_twin_diff(scenario, mutation, report)
+        if detail is not None:
+            result.ok = False
+            result.failure_kind = "scratch-twin"
+            result.determinism_detail = detail
+    return result
+
+
+def _determinism_diff(
+    scenario: Scenario,
+    mutation: Optional[str],
+    report,
+    telemetry: Telemetry,
+) -> Optional[str]:
+    """Same seed twice -> byte-identical report + metrics/trace hashes."""
+    try:
+        report2, telemetry2, _registry = _run_once(scenario, mutation)
+    except Exception as exc:  # noqa: BLE001
+        return f"second run diverged by raising {type(exc).__name__}: {exc}"
+    for name, project, a, b in (
+        ("report", report_projection, report, report2),
+        ("metrics", metrics_projection, telemetry.metrics, telemetry2.metrics),
+        ("trace", trace_projection, telemetry.tracer, telemetry2.tracer),
+    ):
+        detail = diff_projections(project(a), project(b))
+        if detail is not None:
+            return f"{name} diverged between identical-seed runs: {detail}"
+    return None
+
+
+def _scratch_twin_diff(
+    scenario: Scenario, mutation: Optional[str], report
+) -> Optional[str]:
+    """The full_rebuild oracle twin must reproduce the deployment exactly.
+
+    Only the :class:`DeploymentReport` is compared: the incremental and
+    from-scratch pipelines intentionally differ in their *internal*
+    telemetry (wavefront counters, cache histograms), but every
+    externally observable output must match.
+    """
+    try:
+        twin, _telemetry, _registry = _run_once(scenario, mutation, full_rebuild=True)
+    except Exception as exc:  # noqa: BLE001
+        return f"full_rebuild twin raised {type(exc).__name__}: {exc}"
+    detail = diff_projections(report_projection(report), report_projection(twin))
+    if detail is not None:
+        return f"full_rebuild twin diverged: {detail}"
+    return None

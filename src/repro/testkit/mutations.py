@@ -1,0 +1,203 @@
+"""Planted bugs (mutation mode): prove the invariants catch real faults.
+
+A DST harness that never fails is indistinguishable from one that
+checks nothing. Each mutation here deterministically re-introduces a
+class of bug the production code guards against, by monkeypatching the
+*real* subsystem for the duration of one run; the matching invariant
+must catch it mid-simulation. ``repro fuzz --mutate <name>`` runs a
+campaign under a mutation and treats "caught + shrunk" as success.
+
+Mutations patch class attributes inside a context manager and always
+restore them, so they compose with the determinism double-run (both
+runs see the same planted bug).
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, Optional
+
+
+@dataclass(frozen=True)
+class Mutation:
+    """One named planted bug."""
+
+    name: str
+    description: str
+    expected_invariant: str  # which invariant should catch it
+    patch: Callable[[], contextlib.AbstractContextManager]
+
+
+@contextlib.contextmanager
+def _patched(cls, attr: str, wrapper_factory) -> Iterator[None]:
+    original = getattr(cls, attr)
+    setattr(cls, attr, wrapper_factory(original))
+    try:
+        yield
+    finally:
+        setattr(cls, attr, original)
+
+
+# ----------------------------------------------------------------------
+# skip-batch-dedupe: drop the upload ledger's protection
+# ----------------------------------------------------------------------
+
+
+def _skip_batch_dedupe():
+    """Evict known batch ids before handling, bypassing upload dedup.
+
+    A retransmitted or network-duplicated batch then re-enters SfM
+    processing — the double-apply the ledger exists to prevent. The
+    ledger-idempotency invariant sees the completed entry vanish at the
+    duplicate's arrival event and fails the run there, *before* the
+    second application lands.
+    """
+    from ..server.backend import BackendServer
+
+    def factory(original):
+        def handle(self, batch, on_done=None):
+            if batch.batch_id is not None:
+                self._batch_ledger.pop(batch.batch_id, None)
+            return original(self, batch, on_done)
+
+        return handle
+
+    return _patched(BackendServer, "handle_photo_batch", factory)
+
+
+# ----------------------------------------------------------------------
+# leak-completed-lease: completion stops releasing the lease
+# ----------------------------------------------------------------------
+
+
+def _leak_completed_lease():
+    """Completed tasks keep their live lease (release paths disabled).
+
+    The server drops a finishing task's lease twice over —
+    ``release_lease`` on upload success, then ``complete_task``'s own
+    pop — so the mutation disables both. The lease ledger now disagrees
+    with the task ledger: a COMPLETED task holds a "live" lease, the
+    two-effective-holders precursor lease-exclusivity guards against.
+    """
+    import contextlib as _ctx
+
+    from ..server.storage import BackendStore
+
+    def release_factory(original):
+        def release_lease(self, task_id):
+            return self._leases.get(task_id)  # report it, never drop it
+
+        return release_lease
+
+    def complete_factory(original):
+        def complete_task(self, task_id):
+            lease = self._leases.get(task_id)
+            done = original(self, task_id)
+            if lease is not None:
+                self._leases[task_id] = lease  # the leak
+            return done
+
+        return complete_task
+
+    stack = _ctx.ExitStack()
+    stack.enter_context(_patched(BackendStore, "release_lease", release_factory))
+    stack.enter_context(_patched(BackendStore, "complete_task", complete_factory))
+    return stack
+
+
+# ----------------------------------------------------------------------
+# skip-map-dirty-marking: incremental maps stop re-merging changed columns
+# ----------------------------------------------------------------------
+
+
+def _skip_map_dirty_marking():
+    """Point inserts stop dirtying their map columns.
+
+    New cloud points land in the octree but their (row, col) columns are
+    never re-merged into the obstacles map — the incremental map drifts
+    from the Algorithm 2+3 from-scratch rebuild, which the checkpointed
+    map-oracle invariant detects cell-exactly.
+    """
+    from ..mapping.incremental import IncrementalMapEngine
+
+    def factory(original):
+        def _mark_dirty(self, leaf, dirty):
+            return None  # swallow the dirty-column bookkeeping
+
+        return _mark_dirty
+
+    return _patched(IncrementalMapEngine, "_mark_dirty", factory)
+
+
+MUTATIONS: Dict[str, Mutation] = {
+    mutation.name: mutation
+    for mutation in (
+        Mutation(
+            name="skip-batch-dedupe",
+            description="uploads bypass the batch_id dedup ledger",
+            expected_invariant="ledger-idempotency",
+            patch=_skip_batch_dedupe,
+        ),
+        Mutation(
+            name="leak-completed-lease",
+            description="completing a task no longer releases its lease",
+            expected_invariant="lease-exclusivity",
+            patch=_leak_completed_lease,
+        ),
+        Mutation(
+            name="skip-map-dirty-marking",
+            description="incremental map engine stops dirtying changed columns",
+            expected_invariant="map-oracle-exactness",
+            patch=_skip_map_dirty_marking,
+        ),
+    )
+}
+
+
+def mutation_probe():
+    """A scenario crafted to exercise every mutation's trigger path.
+
+    Random scenarios rarely produce a *post-completion* duplicate upload
+    (the callback ACK cannot be lost, and link-duplicated copies arrive
+    while the original is still processing), so ``skip-batch-dedupe``
+    would survive most sampled campaigns. This scenario forces the
+    trigger deterministically: ``jitter_s`` far above ``rto_initial_s``
+    makes the upload RTO fire before the (jittered) ACK, so the client
+    retransmits a batch the server has already completed — the dedup
+    ledger's core case. Single client + lossless delivery keep the rest
+    of the run boring; completed tasks and processed batches exercise
+    the lease-release and map-update paths the other mutations break.
+
+    Mutation-mode fuzzing runs this as campaign 0.
+    """
+    from .scenario import Scenario
+
+    return Scenario(
+        seed=3,
+        venue_seed=11,
+        venue_width_m=8.0,
+        venue_depth_m=7.0,
+        glass_walls=1,
+        n_furniture=1,
+        n_hotspots=2,
+        n_clients=1,
+        jitter_s=6.0,
+        rto_initial_s=2.0,
+        until_s=6000.0,
+        checkpoint_every=2,
+    )
+
+
+@contextlib.contextmanager
+def apply_mutation(name: Optional[str]) -> Iterator[None]:
+    """Context manager applying the named mutation (no-op for ``None``)."""
+    if name is None:
+        yield
+        return
+    if name not in MUTATIONS:
+        raise KeyError(
+            f"unknown mutation {name!r}; available: {sorted(MUTATIONS)}"
+        )
+    with MUTATIONS[name].patch():
+        yield

@@ -1,0 +1,220 @@
+"""Seeded random deployment scenarios for the DST campaign fuzzer.
+
+A :class:`Scenario` is the complete, JSON-serialisable description of
+one simulated deployment: venue geometry, crowd mix and dropout
+hazards, the network fault schedule, protocol timeouts and batch sizes,
+and the run/checkpoint bounds. ``Scenario.sample(seed)`` derives every
+field from named :class:`~repro.simkit.rng.RngStream` draws, so the
+scenario space is explored reproducibly and any point in it can be
+reconstructed from its seed alone — which is what makes failing-seed
+artifacts replayable and shrinkable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, replace
+from typing import Dict, Optional, Tuple
+
+from ..config import FaultConfig, SnapTaskConfig, paper_config
+from ..simkit.rng import RngStream
+
+#: Artifact schema version for serialised scenarios.
+SCENARIO_SCHEMA = "repro.testkit.scenario/v1"
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One fully specified fuzz deployment (see module docstring).
+
+    Defaults describe the smallest quiet deployment; the sampler widens
+    every axis. All fields are primitives/tuples so ``to_dict`` round-
+    trips through JSON exactly.
+    """
+
+    seed: int = 0
+    # -- venue geometry (parametric office replica) --
+    venue_seed: int = 0
+    venue_width_m: float = 9.0
+    venue_depth_m: float = 7.5
+    glass_walls: int = 0
+    n_furniture: int = 2
+    n_hotspots: int = 2
+    # -- crowd mix --
+    n_clients: int = 2
+    dropout_hazard: float = 0.0
+    #: Explicit mid-campaign abandonment: ((client_id, sim_time_s), ...).
+    dropouts: Tuple[Tuple[str, float], ...] = ()
+    # -- network fault schedule --
+    drop_probability: float = 0.0
+    duplicate_probability: float = 0.0
+    jitter_s: float = 0.0
+    disconnect_windows: Tuple[Tuple[float, float], ...] = ()
+    # -- protocol / batch-size parameters --
+    lease_duration_s: float = 600.0
+    rto_initial_s: float = 4.0
+    upload_subbatch: int = 45
+    # -- run bounds + checking cadence --
+    until_s: float = 12_000.0
+    max_events: int = 40_000
+    #: Oracle (map/SOR exactness) checks run every N processed batches.
+    checkpoint_every: int = 4
+    #: Also diff the whole run against its ``full_rebuild=True`` twin.
+    scratch_twin: bool = False
+
+    # ------------------------------------------------------------------
+    # sampling
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def sample(cls, seed: int) -> "Scenario":
+        """Draw one scenario from the campaign distribution for ``seed``."""
+        rng = RngStream(seed, "testkit/scenario")
+        venue = rng.child("venue")
+        crowd = rng.child("crowd")
+        faults = rng.child("faults")
+        proto = rng.child("protocol")
+
+        n_clients = crowd.integers(1, 5)
+        dropouts: Tuple[Tuple[str, float], ...] = ()
+        if crowd.chance(0.3) and n_clients > 1:
+            victim = crowd.integers(0, n_clients)
+            dropouts = ((f"client-{victim}", round(crowd.uniform(200.0, 3000.0), 3)),)
+
+        windows: Tuple[Tuple[float, float], ...] = ()
+        if faults.chance(0.3):
+            n_windows = faults.integers(1, 3)
+            cursor = faults.uniform(100.0, 1500.0)
+            acc = []
+            for _ in range(n_windows):
+                length = faults.uniform(30.0, 300.0)
+                acc.append((round(cursor, 3), round(cursor + length, 3)))
+                cursor += length + faults.uniform(200.0, 2000.0)
+            windows = tuple(acc)
+
+        return cls(
+            seed=seed,
+            venue_seed=venue.integers(0, 2**31),
+            venue_width_m=round(venue.uniform(8.0, 12.0), 2),
+            venue_depth_m=round(venue.uniform(7.0, 10.0), 2),
+            glass_walls=venue.integers(0, 3),
+            n_furniture=venue.integers(0, 5),
+            n_hotspots=venue.integers(2, 5),
+            n_clients=n_clients,
+            dropout_hazard=(
+                round(crowd.uniform(0.01, 0.08), 4) if crowd.chance(0.35) else 0.0
+            ),
+            dropouts=dropouts,
+            drop_probability=(
+                round(faults.uniform(0.02, 0.25), 4) if faults.chance(0.5) else 0.0
+            ),
+            duplicate_probability=(
+                round(faults.uniform(0.02, 0.15), 4) if faults.chance(0.4) else 0.0
+            ),
+            jitter_s=round(faults.uniform(0.1, 2.0), 3) if faults.chance(0.4) else 0.0,
+            disconnect_windows=windows,
+            lease_duration_s=float(proto.choice([120.0, 300.0, 600.0])),
+            rto_initial_s=float(proto.choice([2.0, 4.0])),
+            upload_subbatch=int(proto.choice([15, 30, 45])),
+            until_s=float(proto.choice([6_000.0, 10_000.0, 16_000.0])),
+            max_events=40_000,
+            checkpoint_every=int(proto.choice([2, 4])),
+        )
+
+    # ------------------------------------------------------------------
+    # materialisation
+    # ------------------------------------------------------------------
+
+    def make_config(self) -> SnapTaskConfig:
+        """The :class:`SnapTaskConfig` this scenario deploys under."""
+        config = paper_config(seed=self.seed)
+        config = replace(
+            config,
+            protocol=replace(
+                config.protocol,
+                lease_duration_s=self.lease_duration_s,
+                rto_initial_s=self.rto_initial_s,
+            ),
+            tasks=replace(config.tasks, upload_subbatch=self.upload_subbatch),
+        )
+        return config.validate()
+
+    def make_faults(self) -> Optional[FaultConfig]:
+        faults = FaultConfig(
+            drop_probability=self.drop_probability,
+            duplicate_probability=self.duplicate_probability,
+            jitter_s=self.jitter_s,
+            disconnect_windows=tuple(tuple(w) for w in self.disconnect_windows),
+        )
+        return faults if faults.enabled else None
+
+    def make_bench(self):
+        """A fresh workbench on this scenario's venue (never cached)."""
+        from ..eval import Workbench
+        from ..venue import OfficeSpec, generate_office
+
+        spec = OfficeSpec(
+            width_m=self.venue_width_m,
+            depth_m=self.venue_depth_m,
+            glass_walls=self.glass_walls,
+            n_furniture=self.n_furniture,
+            n_hotspots=self.n_hotspots,
+        )
+        venue = generate_office(spec, RngStream(self.venue_seed, "testkit/office"))
+        return Workbench(venue, self.make_config())
+
+    def make_deployment(self, telemetry=None, full_rebuild: bool = False):
+        """Build the deployment (bench + clients + faults) for this scenario."""
+        from ..server import Deployment
+
+        return Deployment(
+            self.make_bench(),
+            n_clients=self.n_clients,
+            faults=self.make_faults(),
+            dropouts=dict(self.dropouts) or None,
+            dropout_hazard=self.dropout_hazard,
+            telemetry=telemetry,
+            full_rebuild=full_rebuild,
+        )
+
+    # ------------------------------------------------------------------
+    # serialisation
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> Dict:
+        doc = asdict(self)
+        doc["schema"] = SCENARIO_SCHEMA
+        return doc
+
+    @classmethod
+    def from_dict(cls, doc: Dict) -> "Scenario":
+        doc = dict(doc)
+        schema = doc.pop("schema", SCENARIO_SCHEMA)
+        if schema != SCENARIO_SCHEMA:
+            raise ValueError(f"unsupported scenario schema {schema!r}")
+        doc["dropouts"] = tuple((str(c), float(t)) for c, t in doc.get("dropouts", ()))
+        doc["disconnect_windows"] = tuple(
+            (float(a), float(b)) for a, b in doc.get("disconnect_windows", ())
+        )
+        return cls(**doc)
+
+    def describe(self) -> str:
+        """One-line scenario summary for fuzz progress output."""
+        fault_bits = []
+        if self.drop_probability:
+            fault_bits.append(f"drop={self.drop_probability:.2f}")
+        if self.duplicate_probability:
+            fault_bits.append(f"dup={self.duplicate_probability:.2f}")
+        if self.jitter_s:
+            fault_bits.append(f"jit={self.jitter_s:.1f}s")
+        if self.disconnect_windows:
+            fault_bits.append(f"disc x{len(self.disconnect_windows)}")
+        if self.dropout_hazard:
+            fault_bits.append(f"hazard={self.dropout_hazard:.2f}")
+        if self.dropouts:
+            fault_bits.append(f"dropouts x{len(self.dropouts)}")
+        return (
+            f"venue {self.venue_width_m:.0f}x{self.venue_depth_m:.0f}m "
+            f"clients={self.n_clients} lease={self.lease_duration_s:.0f}s "
+            f"batch={self.upload_subbatch} until={self.until_s:.0f}s "
+            f"[{' '.join(fault_bits) or 'lossless'}]"
+        )

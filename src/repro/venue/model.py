@@ -194,9 +194,17 @@ class Venue:
 
     def nearest_featureless_surface(self, p: Vec2) -> Surface:
         """Closest featureless (glass/plaster) surface to floor point ``p``."""
+        surface = self.find_featureless_surface(p)
+        if surface is None:
+            raise VenueError("venue has no featureless surfaces")
+        return surface
+
+    def find_featureless_surface(self, p: Vec2) -> Optional[Surface]:
+        """Like :meth:`nearest_featureless_surface`, but ``None`` when the
+        venue has no featureless surfaces at all (generated venues may not)."""
         candidates = self.featureless_surfaces()
         if not candidates:
-            raise VenueError("venue has no featureless surfaces")
+            return None
         return min(candidates, key=lambda s: s.segment.distance_to_point(p))
 
     def featureless_surfaces_near(self, p: Vec2, radius: float) -> List[Surface]:

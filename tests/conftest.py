@@ -7,6 +7,9 @@ their own instances from the shared immutable substrates.
 
 from __future__ import annotations
 
+import os
+import zlib
+
 import pytest
 
 from repro.camera import GALAXY_S7, CaptureSimulator
@@ -14,6 +17,30 @@ from repro.config import paper_config
 from repro.eval import Workbench
 from repro.simkit import RngStream
 from repro.venue import OfficeSpec, build_feature_world, build_library, generate_office
+
+
+def pytest_collection_modifyitems(config, items):
+    """Optional stable-hash sharding: ``REPRO_TEST_SHARD=i/n`` keeps only
+    the items whose crc32(nodeid) lands in shard ``i`` (1-based) of ``n``.
+
+    crc32 is stable across processes and Python versions (unlike
+    ``hash()``), so the shards partition the suite identically on every
+    CI runner — no test is run twice or dropped.
+    """
+    spec = os.environ.get("REPRO_TEST_SHARD")
+    if not spec:
+        return
+    index, total = (int(part) for part in spec.split("/"))
+    if not 1 <= index <= total:
+        raise ValueError(f"REPRO_TEST_SHARD={spec!r}: want 1<=i<=n")
+    keep = []
+    drop = []
+    for item in items:
+        bucket = zlib.crc32(item.nodeid.encode()) % total
+        (keep if bucket == index - 1 else drop).append(item)
+    if drop:
+        config.hook.pytest_deselected(items=drop)
+        items[:] = keep
 
 
 @pytest.fixture(scope="session")

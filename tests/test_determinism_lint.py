@@ -1,0 +1,136 @@
+"""Determinism lint: no ambient randomness or wall clocks in ``src/``.
+
+The whole DST premise — same seed, byte-identical deployment — holds
+only while every source of nondeterminism stays behind two sanctioned
+doors:
+
+* ``repro.simkit.rng`` — all randomness flows through named
+  :class:`RngStream` draws derived from the master seed;
+* ``repro.obs.wallclock`` — the only module allowed to read the host
+  clock, for telemetry that the digest layer explicitly excludes.
+
+This test AST-walks every module under ``src/`` and fails on `import
+random`, `time.time()`/`perf_counter()`-style clock reads,
+`datetime.now()`/`utcnow()`, or direct `numpy.random` use anywhere
+else. An alias (``from time import perf_counter as pc``) is caught at
+the import, so call-site renaming cannot sneak past the lint.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+
+SRC_ROOT = pathlib.Path(__file__).resolve().parent.parent / "src" / "repro"
+
+#: Modules allowed to touch the named nondeterminism source.
+ALLOWED = {
+    "random": set(),  # the stdlib PRNG is banned outright
+    "time": {"obs/wallclock.py"},
+    "datetime-now": {"obs/wallclock.py"},
+    "numpy-random": {"simkit/rng.py"},
+}
+
+#: ``time`` module members that read a clock (importing them is the offence).
+CLOCK_MEMBERS = {
+    "time",
+    "perf_counter",
+    "perf_counter_ns",
+    "monotonic",
+    "monotonic_ns",
+    "process_time",
+    "process_time_ns",
+    "time_ns",
+    "clock_gettime",
+}
+
+
+def _module_findings(path: pathlib.Path, tree: ast.AST):
+    rel = path.relative_to(SRC_ROOT).as_posix()
+    findings = []
+
+    def offend(kind: str, node: ast.AST, what: str) -> None:
+        if rel not in ALLOWED[kind]:
+            findings.append(f"{rel}:{node.lineno}: {what}")
+
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                root = alias.name.split(".")[0]
+                if root == "random":
+                    offend("random", node, "imports stdlib `random`")
+                elif root == "time":
+                    offend("time", node, "imports `time` (wall clock)")
+        elif isinstance(node, ast.ImportFrom):
+            root = (node.module or "").split(".")[0]
+            if root == "random":
+                offend("random", node, "imports from stdlib `random`")
+            elif root == "time":
+                names = {alias.name for alias in node.names}
+                clocks = sorted(names & CLOCK_MEMBERS)
+                if clocks:
+                    offend("time", node, f"imports clock(s) {clocks} from `time`")
+            elif root == "numpy":
+                sub = (node.module or "").split(".")
+                if "random" in sub[1:]:
+                    offend("numpy-random", node, "imports from `numpy.random`")
+                for alias in node.names:
+                    if alias.name == "random" or alias.name == "default_rng":
+                        offend(
+                            "numpy-random", node, f"imports numpy `{alias.name}`"
+                        )
+        elif isinstance(node, ast.Attribute):
+            # np.random.* / numpy.random.* access
+            if node.attr == "random" and isinstance(node.value, ast.Name):
+                if node.value.id in ("np", "numpy"):
+                    offend("numpy-random", node, "uses `numpy.random` directly")
+            # datetime.now() / utcnow() — a wall-clock read even without
+            # importing `time`.
+            if node.attr in ("now", "utcnow", "today"):
+                target = node.value
+                names = set()
+                while isinstance(target, ast.Attribute):
+                    names.add(target.attr)
+                    target = target.value
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+                if names & {"datetime", "date"}:
+                    offend(
+                        "datetime-now",
+                        node,
+                        f"reads the wall clock via `datetime.{node.attr}()`",
+                    )
+    return findings
+
+
+def test_no_ambient_nondeterminism_in_src():
+    assert SRC_ROOT.is_dir(), SRC_ROOT
+    findings = []
+    for path in sorted(SRC_ROOT.rglob("*.py")):
+        tree = ast.parse(path.read_text(), filename=str(path))
+        findings.extend(_module_findings(path, tree))
+    assert not findings, (
+        "nondeterminism sources outside the sanctioned modules "
+        "(route randomness through simkit.rng, clocks through obs.wallclock):\n"
+        + "\n".join(findings)
+    )
+
+
+def test_lint_catches_a_planted_offence():
+    """The linter itself must flag each banned pattern (no dead lint)."""
+    bad = (
+        "import random\n"
+        "from time import perf_counter as pc\n"
+        "import numpy as np\n"
+        "x = np.random.rand()\n"
+        "import datetime\n"
+        "t = datetime.datetime.now()\n"
+    )
+    tree = ast.parse(bad)
+    fake = SRC_ROOT / "core" / "planted.py"
+    findings = _module_findings(fake, tree)
+    kinds = "\n".join(findings)
+    assert "stdlib `random`" in kinds
+    assert "clock(s) ['perf_counter']" in kinds
+    assert "`numpy.random` directly" in kinds
+    assert "datetime.now()" in kinds

@@ -1,0 +1,236 @@
+"""Property-based edge-case tests for the geometry layer.
+
+The venue generators and fuzz scenarios feed the geometry kernel inputs
+a hand-written test never would: near-degenerate polygons, collinear
+walls, zero-length camera rays. These hypothesis properties pin the
+kernel's contracts at exactly those edges:
+
+* degenerate constructions (zero-length segments, <3-vertex polygons)
+  raise ``GeometryError`` instead of yielding NaN geometry;
+* collinear and parallel segments never report a point intersection;
+* convex hulls, grid ray-marching and interval merging obey their
+  invariants for every input, including the trivial ones.
+
+``derandomize=True`` keeps the suite deterministic — the same examples
+run on every machine (the DST determinism contract extends to the test
+suite itself).
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.errors import GeometryError
+from repro.geometry import (
+    Polygon,
+    Segment,
+    Vec2,
+    angle_difference,
+    convex_hull,
+    merge_intervals,
+    ray_march_cells,
+)
+
+DETERMINISTIC = settings(derandomize=True, max_examples=60, deadline=None)
+
+coords = st.floats(
+    min_value=-50.0, max_value=50.0, allow_nan=False, allow_infinity=False
+)
+points = st.builds(Vec2, coords, coords)
+cells = st.tuples(st.integers(-40, 40), st.integers(-40, 40))
+
+
+# ----------------------------------------------------------------------
+# segments
+# ----------------------------------------------------------------------
+
+
+class TestSegmentEdges:
+    @DETERMINISTIC
+    @given(points)
+    def test_zero_length_segment_is_rejected(self, p):
+        with pytest.raises(GeometryError):
+            Segment(p, p)
+
+    @DETERMINISTIC
+    @given(points, points, st.floats(min_value=-3.0, max_value=3.0))
+    def test_collinear_segments_never_point_intersect(self, a, b, shift):
+        """A segment slid along its own carrier line yields no crossing."""
+        assume((b - a).norm() > 1e-6)
+        seg = Segment(a, b)
+        offset = seg.direction * shift
+        other = seg.translated(offset)
+        assert seg.intersect(other) is None
+
+    @DETERMINISTIC
+    @given(points, points, st.floats(min_value=0.1, max_value=5.0))
+    def test_parallel_segments_never_point_intersect(self, a, b, gap):
+        assume((b - a).norm() > 1e-6)
+        seg = Segment(a, b)
+        other = seg.translated(seg.normal * gap)
+        assert seg.intersect(other) is None
+
+    @DETERMINISTIC
+    @given(points, points, points)
+    def test_closest_point_is_consistent_with_distance(self, a, b, p):
+        assume((b - a).norm() > 1e-6)
+        seg = Segment(a, b)
+        closest = seg.closest_point(p)
+        # The reported distance is the distance to the reported point...
+        assert seg.distance_to_point(p) == pytest.approx((p - closest).norm())
+        # ...and no sampled point on the segment beats it.
+        best = min((p - seg.point_at(t / 16)).norm() for t in range(17))
+        assert seg.distance_to_point(p) <= best + 1e-9
+
+    @DETERMINISTIC
+    @given(points, points)
+    def test_endpoints_and_reversal(self, a, b):
+        assume((b - a).norm() > 1e-6)
+        seg = Segment(a, b)
+        assert (seg.point_at(0.0) - a).norm() == pytest.approx(0.0)
+        assert (seg.point_at(1.0) - b).norm() == pytest.approx(0.0)
+        assert seg.reversed().length == pytest.approx(seg.length)
+
+
+# ----------------------------------------------------------------------
+# polygons
+# ----------------------------------------------------------------------
+
+
+class TestPolygonEdges:
+    @DETERMINISTIC
+    @given(points)
+    def test_under_three_vertices_rejected(self, p):
+        with pytest.raises(GeometryError):
+            Polygon([p, p + Vec2(1.0, 0.0)])
+
+    @DETERMINISTIC
+    @given(points, st.floats(min_value=0.5, max_value=10.0))
+    def test_collinear_polygon_has_zero_area(self, origin, step):
+        """All vertices on one line: a valid but area-less polygon."""
+        flat = Polygon(
+            [origin, origin + Vec2(step, 0.0), origin + Vec2(2 * step, 0.0)]
+        )
+        assert flat.area() == pytest.approx(0.0)
+        assert flat.perimeter() == pytest.approx(4 * step)
+
+    @DETERMINISTIC
+    @given(
+        points,
+        st.floats(min_value=0.5, max_value=10.0),
+        st.floats(min_value=0.5, max_value=10.0),
+        st.floats(min_value=-math.pi, max_value=math.pi),
+    )
+    def test_rotation_preserves_rectangle_area(self, center, w, d, angle):
+        rect = Polygon.rotated_rectangle(center, w, d, angle)
+        assert rect.area() == pytest.approx(w * d, rel=1e-6)
+        assert rect.contains(center)
+
+    @DETERMINISTIC
+    @given(points, st.floats(min_value=0.5, max_value=10.0))
+    def test_repeated_vertex_keeps_area(self, origin, size):
+        """A duplicated vertex must not corrupt the shoelace sum."""
+        o = origin
+        square = [o, o + Vec2(size, 0), o + Vec2(size, 0), o + Vec2(size, size),
+                  o + Vec2(0, size)]
+        assert Polygon(square).area() == pytest.approx(size * size, rel=1e-6)
+
+
+# ----------------------------------------------------------------------
+# convex hull
+# ----------------------------------------------------------------------
+
+
+class TestConvexHullEdges:
+    @DETERMINISTIC
+    @given(
+        st.tuples(st.integers(-40, 40), st.integers(-40, 40)),
+        st.integers(1, 5),
+        st.integers(3, 10),
+    )
+    def test_collinear_cloud_collapses_to_endpoints(self, origin_xy, step, n):
+        # Integer coordinates keep the collinearity float-exact: the hull
+        # intentionally uses exact cross products (no epsilon), so points
+        # that are collinear only up to rounding are NOT collapsed.
+        origin = Vec2(float(origin_xy[0]), float(origin_xy[1]))
+        line = [origin + Vec2(float(i * step), float(i * step)) for i in range(n)]
+        hull = convex_hull(line)
+        assert len(hull) == 2
+        assert (hull[0] - line[0]).norm() == pytest.approx(0.0)
+        assert (hull[1] - line[-1]).norm() == pytest.approx(0.0)
+
+    @DETERMINISTIC
+    @given(st.lists(points, min_size=1, max_size=30))
+    def test_hull_vertices_come_from_the_input(self, pts):
+        hull = convex_hull(pts)
+        raw = {(p.x, p.y) for p in pts}
+        assert all((h.x, h.y) in raw for h in hull)
+
+    @DETERMINISTIC
+    @given(st.lists(points, min_size=3, max_size=30))
+    def test_hull_is_idempotent(self, pts):
+        hull = convex_hull(pts)
+        again = convex_hull(hull)
+        assert [(p.x, p.y) for p in again] == [(p.x, p.y) for p in hull]
+
+
+# ----------------------------------------------------------------------
+# grid ray marching
+# ----------------------------------------------------------------------
+
+
+class TestRayMarchEdges:
+    @DETERMINISTIC
+    @given(cells)
+    def test_zero_length_ray_is_one_cell(self, cell):
+        assert ray_march_cells(cell, cell) == [cell]
+
+    @DETERMINISTIC
+    @given(cells, cells)
+    def test_march_hits_both_endpoints_with_unit_steps(self, a, b):
+        path = ray_march_cells(a, b)
+        assert path[0] == a and path[-1] == b
+        # Bresenham: exactly chebyshev+1 cells, 8-connected steps.
+        assert len(path) == max(abs(b[0] - a[0]), abs(b[1] - a[1])) + 1
+        for (r0, c0), (r1, c1) in zip(path, path[1:]):
+            assert max(abs(r1 - r0), abs(c1 - c0)) == 1
+
+
+# ----------------------------------------------------------------------
+# intervals + angles
+# ----------------------------------------------------------------------
+
+
+class TestIntervalAndAngleEdges:
+    @DETERMINISTIC
+    @given(
+        st.lists(
+            st.tuples(coords, st.floats(min_value=0.0, max_value=5.0)),
+            max_size=20,
+        ),
+        st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_merge_yields_sorted_gapped_intervals(self, raw, gap):
+        intervals = [(s, s + w) for s, w in raw]
+        merged = merge_intervals(intervals, gap)
+        for (s0, e0), (s1, e1) in zip(merged, merged[1:]):
+            assert e0 <= s1  # disjoint and ordered...
+            assert s1 - e0 > gap  # ...with more than `gap` between them
+        # Conservation: every original endpoint still lies inside a merged span.
+        for s, e in intervals:
+            assert any(ms - 1e-9 <= s and e <= me + 1e-9 for ms, me in merged)
+
+    @DETERMINISTIC
+    @given(
+        st.floats(min_value=-20.0, max_value=20.0),
+        st.floats(min_value=-20.0, max_value=20.0),
+    )
+    def test_angle_difference_wraps_into_half_open_pi(self, a, b):
+        diff = angle_difference(a, b)
+        assert -math.pi < diff <= math.pi + 1e-12
+        # a and b+diff name the same direction.
+        assert math.cos(b + diff) == pytest.approx(math.cos(a), abs=1e-6)
+        assert math.sin(b + diff) == pytest.approx(math.sin(a), abs=1e-6)
