@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field, replace
-from typing import Tuple
+from typing import Optional, Tuple
 
 from .errors import ConfigError
 
@@ -268,6 +268,44 @@ class NetworkConfig:
 
 
 @dataclass(frozen=True)
+class BackendConfig:
+    """The backend's SfM processing lane (bounded workers + admission).
+
+    The paper names SfM compute the system bottleneck (Sec. II-A); this
+    section makes the bottleneck explicit instead of modelling it away.
+    ``sfm_workers=None`` keeps the legacy *infinite-server* model — every
+    uploaded batch gets a dedicated simulated worker — and is byte-for-
+    byte identical to the pre-queueing traces. A bounded pool serves
+    batches FIFO from an admission queue (completion = queue wait +
+    deterministic service time, an M/D/c-style lane), and a bounded
+    ``queue_limit`` turns the lane into an admission controller: batches
+    arriving past the bound are *shed* with a ``retry_after_s`` hint
+    instead of queued.
+    """
+
+    #: Parallel SfM workers; ``None`` = infinite (legacy model).
+    sfm_workers: Optional[int] = None
+    #: Max batches waiting for a worker; ``None`` = unbounded queue.
+    #: ``0`` sheds whenever every worker is busy. Requires a bounded pool.
+    queue_limit: Optional[int] = None
+    #: Lower bound for the ``retry_after_s`` hint on shed uploads.
+    retry_after_floor_s: float = 1.0
+
+    def validate(self) -> None:
+        if self.sfm_workers is not None and self.sfm_workers < 1:
+            raise ConfigError(f"sfm_workers={self.sfm_workers} must be >= 1 or None")
+        if self.queue_limit is not None:
+            if self.queue_limit < 0:
+                raise ConfigError(f"queue_limit={self.queue_limit} cannot be negative")
+            if self.sfm_workers is None:
+                raise ConfigError(
+                    "queue_limit requires a bounded pool (sfm_workers is None)"
+                )
+        if self.retry_after_floor_s <= 0:
+            raise ConfigError("retry_after_floor_s must be positive")
+
+
+@dataclass(frozen=True)
 class ProtocolConfig:
     """Fault-tolerant crowd-protocol parameters (leases + retries).
 
@@ -289,6 +327,18 @@ class ProtocolConfig:
     rto_backoff: float = 2.0
     rto_max_s: float = 60.0
     max_retries: int = 8
+    #: Idle-client re-poll cadence when the backend has no work yet.
+    poll_interval_s: float = 5.0
+    #: Seeded uniform jitter added to each poll wait. ``0`` (the default)
+    #: keeps polls on the bare cadence — and the event trace unchanged —
+    #: but synchronises idle clients into a polling herd; any positive
+    #: value decorrelates them deterministically (per-client RNG stream).
+    poll_jitter_s: float = 0.0
+    #: How long the dedup ledgers keep an entry after its owning task
+    #: reaches a terminal state. Old entries are archived to the store
+    #: (late duplicates still re-ACK safely) and evicted, bounding ledger
+    #: memory over a long campaign.
+    ledger_retention_s: float = 600.0
 
     def timeout_for(self, attempt: int, floor_s: float = 0.0) -> float:
         """Retransmission timeout for the ``attempt``-th send (0-based).
@@ -312,6 +362,12 @@ class ProtocolConfig:
             raise ConfigError("rto_backoff must be >= 1")
         if self.max_retries < 0:
             raise ConfigError("max_retries cannot be negative")
+        if self.poll_interval_s <= 0:
+            raise ConfigError("poll_interval_s must be positive")
+        if self.poll_jitter_s < 0:
+            raise ConfigError("poll_jitter_s cannot be negative")
+        if self.ledger_retention_s <= 0:
+            raise ConfigError("ledger_retention_s must be positive")
 
 
 @dataclass(frozen=True)
@@ -327,6 +383,7 @@ class SnapTaskConfig:
     nav: NavigationConfig = field(default_factory=NavigationConfig)
     network: NetworkConfig = field(default_factory=NetworkConfig)
     protocol: ProtocolConfig = field(default_factory=ProtocolConfig)
+    backend: BackendConfig = field(default_factory=BackendConfig)
     seed: int = 2018
 
     def validate(self) -> "SnapTaskConfig":
@@ -341,6 +398,7 @@ class SnapTaskConfig:
             self.nav,
             self.network,
             self.protocol,
+            self.backend,
         ):
             section.validate()
         return self
@@ -352,6 +410,32 @@ class SnapTaskConfig:
     def with_seed(self, seed: int) -> "SnapTaskConfig":
         """Return a copy with a different master RNG seed."""
         return replace(self, seed=seed)
+
+    def with_backend(
+        self,
+        sfm_workers: Optional[int] = None,
+        queue_limit: Optional[int] = None,
+        retry_after_floor_s: Optional[float] = None,
+    ) -> "SnapTaskConfig":
+        """Return a copy with a different SfM processing-lane shape."""
+        floor = (
+            retry_after_floor_s
+            if retry_after_floor_s is not None
+            else self.backend.retry_after_floor_s
+        )
+        return replace(
+            self,
+            backend=BackendConfig(
+                sfm_workers=sfm_workers,
+                queue_limit=queue_limit,
+                retry_after_floor_s=floor,
+            ),
+        )
+
+    @property
+    def sfm_workers(self) -> Optional[int]:
+        """The backend's SfM worker count (``None`` = infinite-server)."""
+        return self.backend.sfm_workers
 
     @property
     def min_area_cells(self) -> int:

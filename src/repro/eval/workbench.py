@@ -57,6 +57,26 @@ class Workbench:
         """The paper's evaluation venue."""
         return Workbench(build_library(), config)
 
+    def with_backend(
+        self,
+        sfm_workers: Optional[int] = None,
+        queue_limit: Optional[int] = None,
+    ) -> "Workbench":
+        """A fresh workbench on the same venue with a different SfM lane.
+
+        ``sfm_workers=None`` is the infinite-server model; a bounded pool
+        (optionally with a bounded admission queue) makes the backend's
+        processing capacity explicit. Everything else — venue, seeds,
+        ground truth — is rebuilt identically, so sweeps over the lane
+        shape are apples-to-apples.
+        """
+        return Workbench(
+            self.venue,
+            self.config.with_backend(
+                sfm_workers=sfm_workers, queue_limit=queue_limit
+            ),
+        )
+
     def make_pipeline(
         self, use_site_mask: bool = True, telemetry=None, full_rebuild: bool = False
     ) -> SnapTaskPipeline:

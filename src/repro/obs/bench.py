@@ -226,3 +226,115 @@ def load_and_validate_sfm(path: PathLike) -> dict:
     doc = json.loads(pathlib.Path(path).read_text())
     assert_valid_bench_sfm(doc)
     return doc
+
+
+# ---------------------------------------------------------------------------
+# BENCH_backend.json — SfM-lane overload sweep (workers x queue bound)
+# ---------------------------------------------------------------------------
+
+BENCH_BACKEND_SCHEMA = "repro.bench.backend/v1"
+
+#: One row per lane shape. ``workers=0`` encodes the infinite-server
+#: model; ``queue_limit=-1`` encodes an unbounded admission queue.
+_BACKEND_ROW_FIELDS = (
+    "workers",
+    "queue_limit",
+    "sim_time_s",
+    "tasks_completed",
+    "photos_uploaded",
+    "batches_shed",
+    "client_backpressure",
+    "queue_wait_s",
+    "peak_queue_depth",
+    "service_time_s",
+)
+
+_BACKEND_SUMMARY_FIELDS = (
+    "rows",
+    "baseline_tasks_completed",
+    "max_queue_wait_s",
+    "total_shed",
+)
+
+
+def bench_backend_document(
+    rows: List[dict], summary: dict, campaign: Optional[dict] = None
+) -> dict:
+    """Build the ``BENCH_backend.json`` document (see ``validate_bench_backend``)."""
+    return {
+        "schema": BENCH_BACKEND_SCHEMA,
+        "generated_at": utc_now_iso(),
+        "campaign": dict(campaign or {}),
+        "rows": [dict(row) for row in rows],
+        "summary": dict(summary),
+    }
+
+
+def write_bench_backend(
+    path: PathLike,
+    rows: List[dict],
+    summary: dict,
+    campaign: Optional[dict] = None,
+) -> pathlib.Path:
+    doc = bench_backend_document(rows, summary, campaign)
+    assert_valid_bench_backend(doc)
+    path = pathlib.Path(path)
+    path.write_text(json.dumps(doc, indent=2) + "\n")
+    return path
+
+
+def validate_bench_backend(doc) -> List[str]:
+    """Return a list of schema violations (empty == valid)."""
+    problems: List[str] = []
+    if not isinstance(doc, dict):
+        return ["document is not an object"]
+    if doc.get("schema") != BENCH_BACKEND_SCHEMA:
+        problems.append(
+            f"schema is {doc.get('schema')!r}, expected {BENCH_BACKEND_SCHEMA!r}"
+        )
+    if not isinstance(doc.get("generated_at"), str):
+        problems.append("generated_at missing or not a string")
+    if not isinstance(doc.get("campaign"), dict):
+        problems.append("campaign missing or not an object")
+    rows = doc.get("rows")
+    if not isinstance(rows, list) or not rows:
+        problems.append("rows missing, not a list, or empty")
+    else:
+        for i, row in enumerate(rows):
+            if not isinstance(row, dict):
+                problems.append(f"rows[{i}] is not an object")
+                continue
+            for field in _BACKEND_ROW_FIELDS:
+                value = row.get(field)
+                if not isinstance(value, (int, float)) or isinstance(value, bool):
+                    problems.append(f"rows[{i}] field {field!r} not numeric")
+            workers = row.get("workers")
+            if isinstance(workers, int) and workers < 0:
+                problems.append(f"rows[{i}] has negative workers")
+            limit = row.get("queue_limit")
+            if isinstance(limit, int) and limit < -1:
+                problems.append(f"rows[{i}] queue_limit below -1")
+    summary = doc.get("summary")
+    if not isinstance(summary, dict):
+        problems.append("summary missing or not an object")
+    else:
+        for field in _BACKEND_SUMMARY_FIELDS:
+            value = summary.get(field)
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                problems.append(f"summary field {field!r} not numeric")
+    return problems
+
+
+def assert_valid_bench_backend(doc) -> None:
+    problems = validate_bench_backend(doc)
+    if problems:
+        raise ObservabilityError(
+            "invalid BENCH_backend document: " + "; ".join(problems[:10])
+        )
+
+
+def load_and_validate_backend(path: PathLike) -> dict:
+    """CI helper: load ``path``, validate as BENCH_backend, return the document."""
+    doc = json.loads(pathlib.Path(path).read_text())
+    assert_valid_bench_backend(doc)
+    return doc

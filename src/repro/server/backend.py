@@ -21,16 +21,26 @@ Fault tolerance (this layer's contract with unreliable clients):
   failure :class:`ProcessingResult`; only successful batches complete
   their task, failed attempts release the lease (feeding the paper's
   TT-attempt annotation escalation, Sec. IV).
+* **Bounded SfM lane** — processing capacity is explicit: a
+  :class:`~repro.config.BackendConfig` worker pool serves batches FIFO
+  from an admission queue (completion = queue wait + deterministic
+  service time). A bounded queue sheds overflow with a ``retry_after_s``
+  hint instead of queueing without limit; ``sfm_workers=None`` keeps the
+  legacy infinite-server model byte-for-byte.
+* **Bounded ledgers** — dedup entries are evicted a retention window
+  after their owning task turns terminal; evicted batch outcomes are
+  archived in the store so late duplicates still re-ACK safely.
 """
 
 from __future__ import annotations
 
+import itertools
 from collections import deque
 from dataclasses import replace
-from typing import Callable, Deque, Dict, List, Optional
+from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from ..annotation.processor import AnnotationProcessor
-from ..config import ProtocolConfig
+from ..config import BackendConfig, ProtocolConfig
 from ..core.pipeline import SnapTaskPipeline
 from ..core.tasks import Task, TaskKind, TaskStatus
 from ..errors import ProtocolError
@@ -55,6 +65,7 @@ class BackendServer:
         localizer: Optional[ImageLocalizer] = None,
         annotation_processor: Optional[AnnotationProcessor] = None,
         protocol: Optional[ProtocolConfig] = None,
+        backend: Optional[BackendConfig] = None,
     ):
         self._pipeline = pipeline
         self._sim = simulator
@@ -62,6 +73,8 @@ class BackendServer:
         self._localizer = localizer
         self._annotation = annotation_processor
         self._protocol = protocol if protocol is not None else ProtocolConfig()
+        self._backend = backend if backend is not None else BackendConfig()
+        self._backend.validate()
         self._task_queue: Deque[Task] = deque()
         self._result_log: List[ProcessingResult] = []
         #: request_id -> assignment already granted (idempotent requests).
@@ -78,6 +91,25 @@ class BackendServer:
         #: the reap event dispatches first (FIFO at equal timestamps) but
         #: defers to the in-flight upload deterministically.
         self._inflight_batches: Dict[int, int] = {}
+        # -- SfM processing lane (bounded worker pool + admission queue) --
+        #: Parallel workers; ``None`` keeps the infinite-server model.
+        self._workers = self._backend.sfm_workers
+        self._queue_limit = self._backend.queue_limit
+        #: Admitted batches waiting for a worker, FIFO.
+        self._sfm_queue: Deque[tuple] = deque()
+        #: Service-completion times of the currently busy workers.
+        self._busy_until: List[float] = []
+        self._admit_seq = itertools.count(1)
+        #: Admission sequence numbers in service-start order (FIFO audit).
+        self._service_order: List[int] = []
+        self._queue_wait_total = 0.0
+        self._peak_queue_depth = 0
+        self._service_time_total = 0.0
+        # -- ledger garbage collection (bounded dedup memory) --
+        #: (evict_at, request_ids, batch_ids), evict_at non-decreasing.
+        self._gc_queue: Deque[Tuple[float, tuple, tuple]] = deque()
+        self._rids_by_task: Dict[int, List[str]] = {}
+        self._bids_by_task: Dict[int, List[str]] = {}
         # Telemetry (shared with everything on this event loop).
         obs = simulator.telemetry
         self._tracer = obs.tracer
@@ -94,6 +126,15 @@ class BackendServer:
             "repro.server.process_batch_s", base=0.1, growth=2.0
         )
         self._g_queue = metrics.gauge("repro.server.task_queue_depth")
+        self._m_shed = metrics.counter("repro.server.batches_shed")
+        self._h_queue_wait = metrics.histogram(
+            "repro.server.sfm_queue_wait_s", base=0.1, growth=2.0
+        )
+        self._h_service = metrics.histogram(
+            "repro.server.sfm_service_s", base=0.1, growth=2.0
+        )
+        self._g_sfm_queue = metrics.gauge("repro.server.sfm_queue_depth")
+        self._g_sfm_busy = metrics.gauge("repro.server.sfm_busy_workers")
         #: task_id -> open lease span (request -> upload ACK / expiry).
         self._lease_spans: Dict[int, object] = {}
 
@@ -108,6 +149,10 @@ class BackendServer:
     @property
     def protocol(self) -> ProtocolConfig:
         return self._protocol
+
+    @property
+    def backend_config(self) -> BackendConfig:
+        return self._backend
 
     @property
     def results(self) -> List[ProcessingResult]:
@@ -135,6 +180,55 @@ class BackendServer:
         """Uploaded batches of ``task_id`` currently in simulated processing."""
         return self._inflight_batches.get(task_id, 0)
 
+    def ledger_contains(self, batch_id: str) -> bool:
+        """Whether the dedup ledger still holds an entry for ``batch_id``."""
+        return batch_id in self._batch_ledger
+
+    @property
+    def batch_ledger_size(self) -> int:
+        return len(self._batch_ledger)
+
+    @property
+    def request_ledger_size(self) -> int:
+        return len(self._request_ledger)
+
+    # -- read-only SfM-lane views (DST invariants + benchmarks) ---------------------
+
+    @property
+    def sfm_worker_limit(self) -> Optional[int]:
+        """Configured worker count (``None`` = infinite-server model)."""
+        return self._workers
+
+    @property
+    def sfm_queue_limit(self) -> Optional[int]:
+        return self._queue_limit
+
+    @property
+    def sfm_busy_workers(self) -> int:
+        return len(self._busy_until)
+
+    @property
+    def sfm_queue_depth(self) -> int:
+        return len(self._sfm_queue)
+
+    @property
+    def sfm_queue_wait_total_s(self) -> float:
+        """Total time admitted batches spent waiting for a worker."""
+        return self._queue_wait_total
+
+    @property
+    def sfm_peak_queue_depth(self) -> int:
+        return self._peak_queue_depth
+
+    @property
+    def sfm_service_time_total_s(self) -> float:
+        """Total service time delivered by the bounded pool."""
+        return self._service_time_total
+
+    def sfm_service_order(self) -> List[int]:
+        """Admission sequence numbers in service-start order (FIFO audit)."""
+        return list(self._service_order)
+
     # -- protocol handlers ---------------------------------------------------------
 
     def handle_task_request(self, request: TaskRequest) -> TaskAssignment:
@@ -144,6 +238,7 @@ class BackendServer:
         (network-level copy or client retransmission) is answered with
         the original assignment instead of leaking a second lease.
         """
+        self._gc_ledgers()
         self._m_requests.inc()
         rid = request.request_id
         if rid is not None and rid in self._request_ledger:
@@ -159,6 +254,13 @@ class BackendServer:
                 span.set_attr("task_id", assignment.task.task_id)
         if rid is not None:
             self._request_ledger[rid] = assignment
+            if assignment.task is not None:
+                self._rids_by_task.setdefault(assignment.task.task_id, []).append(rid)
+            else:
+                # No task owns this exchange; retention alone bounds it.
+                self._gc_queue.append(
+                    (self._sim.now + self._protocol.ledger_retention_s, (rid,), ())
+                )
         return assignment
 
     def _next_assignment(self, request: TaskRequest) -> TaskAssignment:
@@ -176,6 +278,7 @@ class BackendServer:
                 task=None,
                 venue_covered=False,
                 request_id=request.request_id,
+                retry_after_s=self._poll_hint(),
             )
         self._store.record_task(task)
         expires_at = self._sim.now + self._protocol.lease_duration_s
@@ -203,6 +306,7 @@ class BackendServer:
             task=assigned,
             request_id=request.request_id,
             lease_expires_at=expires_at,
+            processing_s_per_photo=PROCESSING_S_PER_PHOTO,
         )
 
     def _pop_next_task(self) -> Optional[Task]:
@@ -232,8 +336,16 @@ class BackendServer:
         the server would push back to the client. Batches carrying a
         ``batch_id`` are idempotent: duplicates of an in-flight batch are
         dropped, duplicates of a finished batch are re-ACKed from the
-        ledger — the pipeline never processes the same batch twice.
+        ledger (or, after ledger eviction, from the store archive) — the
+        pipeline never processes the same batch twice.
+
+        With a bounded :class:`~repro.config.BackendConfig` pool the
+        batch is admitted to the FIFO processing lane; when every worker
+        is busy and the admission queue is at its bound, the batch is
+        *shed* with a backpressure reply instead (``retry_after_s`` set,
+        nothing ledgered — the client retransmits later).
         """
+        self._gc_ledgers()
         self._m_batches.inc()
         bid = batch.batch_id
         if bid is not None:
@@ -244,10 +356,31 @@ class BackendServer:
                 if prior is not None and on_done is not None:
                     on_done(prior)  # replay the lost/raced ACK
                 return
-            self._batch_ledger[bid] = None
+            archived = self._store.archived_batch(bid)
+            if archived is not None:
+                # The ledger entry was already evicted; answer the late
+                # duplicate from the archive instead of reprocessing.
+                self._store.bump("batches_deduped")
+                self._store.bump("late_duplicates_reacked")
+                self._m_batches_deduped.inc()
+                if on_done is not None:
+                    on_done(
+                        ProcessingResult(
+                            client_id=batch.client_id,
+                            task_id=archived.task_id,
+                            photos_added=archived.photos_added,
+                            coverage_cells=self._pipeline.coverage_cells,
+                            venue_covered=self._pipeline.venue_covered,
+                            batch_id=bid,
+                            error=archived.error,
+                        )
+                    )
+                return
         if not batch.photos:
             # A remote client's malformed upload must not crash the event
             # loop: reply with a failure result and requeue the task.
+            if bid is not None:
+                self._batch_ledger[bid] = None
             self._store.bump("empty_batches_rejected")
             self._m_empty_rejected.inc()
             result = ProcessingResult(
@@ -261,23 +394,24 @@ class BackendServer:
             )
             if bid is not None:
                 self._batch_ledger[bid] = result
+                self._note_ledgered(bid, batch.task_id)
             if batch.task_id is not None:
                 self._requeue_task(batch.task_id)
             self._result_log.append(result)
             if on_done is not None:
                 on_done(result)
             return
-        delay = PROCESSING_S_PER_PHOTO * len(batch.photos)
+        if self._overloaded():
+            self._shed(batch, on_done)
+            return
+        if bid is not None:
+            self._batch_ledger[bid] = None
         arrived_at = self._sim.now
         if batch.task_id is not None:
             self._inflight_batches[batch.task_id] = (
                 self._inflight_batches.get(batch.task_id, 0) + 1
             )
-        self._sim.schedule(
-            delay,
-            lambda: self._process(batch, on_done, arrived_at),
-            label=f"process-batch:{batch.client_id}",
-        )
+        self._admit(batch, on_done, arrived_at)
 
     def handle_localization_query(self, photo) -> Optional[PositionFix]:
         """Image-based positioning against the current model."""
@@ -285,6 +419,176 @@ class BackendServer:
             raise ProtocolError("backend has no localizer configured")
         model_ids = {int(f) for f in self._pipeline.model().cloud.feature_ids}
         return self._localizer.locate(photo, model_ids)
+
+    # -- SfM processing lane -----------------------------------------------------------
+
+    def _admit(self, batch: PhotoBatch, on_done, arrived_at: float) -> None:
+        """Hand an accepted batch to the processing lane."""
+        if self._workers is None:
+            # Legacy infinite-server model: every batch gets a dedicated
+            # simulated worker (byte-for-byte the pre-queueing trace).
+            delay = PROCESSING_S_PER_PHOTO * len(batch.photos)
+            self._sim.schedule(
+                delay,
+                lambda: self._process(batch, on_done, arrived_at),
+                label=f"process-batch:{batch.client_id}",
+            )
+            return
+        entry = (next(self._admit_seq), batch, on_done, arrived_at)
+        if len(self._busy_until) < self._workers:
+            self._start_service(entry)
+        else:
+            self._sfm_queue.append(entry)
+            depth = len(self._sfm_queue)
+            self._peak_queue_depth = max(self._peak_queue_depth, depth)
+            self._g_sfm_queue.set(depth)
+
+    def _start_service(self, entry: tuple) -> None:
+        seq, batch, on_done, arrived_at = entry
+        now = self._sim.now
+        wait = now - arrived_at
+        self._service_order.append(seq)
+        self._queue_wait_total += wait
+        self._h_queue_wait.record(wait)
+        if wait > 0 and self._tracer.enabled:
+            self._tracer.record(
+                "server.sfm_queue_wait",
+                arrived_at,
+                now,
+                category="server",
+                client=batch.client_id,
+                batch_id=batch.batch_id,
+            )
+        service_s = PROCESSING_S_PER_PHOTO * len(batch.photos)
+        self._h_service.record(service_s)
+        self._service_time_total += service_s
+        end = now + service_s
+        self._busy_until.append(end)
+        self._g_sfm_busy.set(len(self._busy_until))
+        self._sim.schedule(
+            service_s,
+            lambda: self._finish_service(entry, end),
+            label=f"process-batch:{batch.client_id}",
+        )
+
+    def _finish_service(self, entry: tuple, end: float) -> None:
+        _seq, batch, on_done, arrived_at = entry
+        self._busy_until.remove(end)
+        self._g_sfm_busy.set(len(self._busy_until))
+        self._process(batch, on_done, arrived_at)
+        if self._sfm_queue and len(self._busy_until) < self._workers:
+            head = self._sfm_queue.popleft()
+            self._g_sfm_queue.set(len(self._sfm_queue))
+            self._start_service(head)
+
+    def _overloaded(self) -> bool:
+        """Admission control: full pool *and* full queue means shed."""
+        if self._workers is None or self._queue_limit is None:
+            return False
+        if len(self._busy_until) < self._workers:
+            return False
+        return len(self._sfm_queue) >= self._queue_limit
+
+    def _retry_after(self) -> float:
+        """When retrying is worthwhile: the earliest service completion."""
+        earliest = min(self._busy_until) if self._busy_until else self._sim.now
+        return max(self._backend.retry_after_floor_s, earliest - self._sim.now)
+
+    def _poll_hint(self) -> Optional[float]:
+        """Re-poll hint for empty assignments while the lane is saturated."""
+        if self._workers is None or len(self._busy_until) < self._workers:
+            return None
+        return self._retry_after()
+
+    def _shed(self, batch: PhotoBatch, on_done) -> None:
+        """Refuse an upload under overload with a backpressure reply.
+
+        Deliberately *not* ledgered and *not* logged: a shed is no
+        verdict on the batch, so its id must stay fresh for the eventual
+        real processing (and the idempotency invariant must not see a
+        second result for it).
+        """
+        self._store.bump("batches_shed")
+        self._m_shed.inc()
+        retry_after = self._retry_after()
+        if self._tracer.enabled:
+            self._tracer.instant(
+                "server.batch_shed",
+                category="server",
+                client=batch.client_id,
+                batch_id=batch.batch_id,
+                retry_after_s=retry_after,
+            )
+        if on_done is not None:
+            on_done(
+                ProcessingResult(
+                    client_id=batch.client_id,
+                    task_id=batch.task_id,
+                    photos_added=False,
+                    coverage_cells=self._pipeline.coverage_cells,
+                    venue_covered=self._pipeline.venue_covered,
+                    batch_id=batch.batch_id,
+                    error="backend overloaded",
+                    retry_after_s=retry_after,
+                )
+            )
+
+    # -- ledger garbage collection -----------------------------------------------------
+
+    def _gc_ledgers(self) -> None:
+        """Evict due ledger entries (inline sweep; schedules nothing).
+
+        Entries become due ``ledger_retention_s`` after their owning task
+        turned terminal. Batch outcomes are archived to the store first,
+        so a duplicate arriving after eviction still re-ACKs safely.
+        """
+        now = self._sim.now
+        queue = self._gc_queue
+        while queue and queue[0][0] <= now:
+            _, rids, bids = queue.popleft()
+            for rid in rids:
+                if self._request_ledger.pop(rid, None) is not None:
+                    self._store.bump("ledger_evictions")
+            for bid in bids:
+                result = self._batch_ledger.get(bid)
+                if result is None:
+                    continue  # in flight again or already gone; keep safe
+                self._store.archive_batch(
+                    bid, result.task_id, result.photos_added, result.error
+                )
+                del self._batch_ledger[bid]
+                self._store.bump("ledger_evictions")
+
+    def _note_ledgered(self, bid: Optional[str], task_id: Optional[int]) -> None:
+        """Attach a ledgered batch id to its owning task for later GC."""
+        if bid is None:
+            return
+        if task_id is None:
+            self._gc_queue.append(
+                (self._sim.now + self._protocol.ledger_retention_s, (), (bid,))
+            )
+        else:
+            self._bids_by_task.setdefault(task_id, []).append(bid)
+
+    def _maybe_schedule_gc(self, task_id: Optional[int]) -> None:
+        """Queue a task's ledger entries for eviction once it is terminal."""
+        if task_id is None:
+            return
+        task = self._store.maybe_task(task_id)
+        if task is None or task.status not in (
+            TaskStatus.COMPLETED,
+            TaskStatus.FAILED,
+        ):
+            return
+        if self._store.lease_of(task_id) is not None:
+            return
+        rids = tuple(self._rids_by_task.pop(task_id, ()))
+        bids = tuple(self._bids_by_task.pop(task_id, ()))
+        if not rids and not bids:
+            return
+        self._gc_queue.append(
+            (self._sim.now + self._protocol.ledger_retention_s, rids, bids)
+        )
 
     # -- lease reaper ------------------------------------------------------------------
 
@@ -431,7 +735,9 @@ class BackendServer:
         )
         if batch.batch_id is not None:
             self._batch_ledger[batch.batch_id] = result
+            self._note_ledgered(batch.batch_id, batch.task_id)
         self._result_log.append(result)
+        self._maybe_schedule_gc(batch.task_id)
         self._h_process.record(self._sim.now - t0)
         if span is not None:
             span.end(

@@ -42,7 +42,7 @@ from ..nav.navigation import Navigator
 from ..simkit.events import EventToken, Simulator
 from ..simkit.network import DuplexLink
 from ..simkit.rng import RngStream
-from .backend import PROCESSING_S_PER_PHOTO, BackendServer
+from .backend import BackendServer
 from .messages import PhotoBatch, ProcessingResult, TaskAssignment, TaskRequest
 
 #: Guided captures are steady (same value the crowd simulator uses).
@@ -51,7 +51,9 @@ CLIENT_CAPTURE_BLUR = 0.03
 #: Seconds per captured photo during a sweep.
 CAPTURE_INTERVAL_S = 1.0
 
-#: Poll interval when the backend has no work yet.
+#: Default poll interval when the backend has no work yet (the live value
+#: comes from ``ProtocolConfig.poll_interval_s``; this constant remains
+#: as the published default).
 POLL_INTERVAL_S = 5.0
 
 
@@ -70,6 +72,7 @@ class ClientStats:
     stale_responses: int = 0
     duplicate_results: int = 0
     failed_results: int = 0
+    backpressure: int = 0
     dropped_out: bool = False
     results: List[ProcessingResult] = field(default_factory=list)
 
@@ -91,6 +94,7 @@ class MobileClient:
         photo_size_mb: float = 2.5,
         protocol: Optional[ProtocolConfig] = None,
         rng: Optional[RngStream] = None,
+        poll_rng: Optional[RngStream] = None,
     ):
         self._client_id = client_id
         self._participant = participant
@@ -104,6 +108,10 @@ class MobileClient:
         self._photo_size_mb = photo_size_mb
         self._protocol = protocol if protocol is not None else ProtocolConfig()
         self._rng = rng
+        self._poll_rng = poll_rng
+        #: Per-photo service-time hint carried by task assignments; feeds
+        #: the upload RTO floor without importing backend internals.
+        self._service_hint_spp = 0.0
         self._active = False
         # Request / upload exchange state (one outstanding of each).
         self._request_seq = itertools.count(1)
@@ -125,6 +133,7 @@ class MobileClient:
         self._m_uploads_abandoned = metrics.counter("repro.client.uploads_abandoned")
         self._m_stale = metrics.counter("repro.client.stale_responses")
         self._m_dup_results = metrics.counter("repro.client.duplicate_results")
+        self._m_backpressure = metrics.counter("repro.client.backpressure")
         self._m_photos = metrics.counter("repro.client.photos_uploaded")
         self._h_walk = metrics.histogram("repro.client.walk_s", base=1.0, growth=2.0)
         #: Open exchange spans (request -> assignment, upload -> ACK).
@@ -218,7 +227,7 @@ class MobileClient:
             self._end_span("_request_span", outcome="abandoned")
             self._pending_request_id = None
             self._sim.schedule(
-                POLL_INTERVAL_S, self._request_task, label=f"{self._client_id}:poll"
+                self._poll_delay(), self._request_task, label=f"{self._client_id}:poll"
             )
             return
         self._request_attempt += 1
@@ -248,12 +257,20 @@ class MobileClient:
                 self._active = False
                 self._cancel_timers()
                 return
-            # Nothing to do right now; poll again shortly.
+            # Nothing to do right now; poll again shortly. An overloaded
+            # backend hints when re-polling is worthwhile.
             self._end_span("_request_span", outcome="empty")
+            delay = (
+                assignment.retry_after_s
+                if assignment.retry_after_s is not None
+                else self._poll_delay()
+            )
             self._sim.schedule(
-                POLL_INTERVAL_S, self._request_task, label=f"{self._client_id}:poll"
+                delay, self._request_task, label=f"{self._client_id}:poll"
             )
             return
+        if assignment.processing_s_per_photo is not None:
+            self._service_hint_spp = assignment.processing_s_per_photo
         self._end_span(
             "_request_span", outcome="assigned", task_id=assignment.task.task_id
         )
@@ -382,12 +399,31 @@ class MobileClient:
             timeout, self._on_upload_timeout, label=f"{self._client_id}:rto-upload"
         )
 
+    def _poll_delay(self) -> float:
+        """Idle re-poll wait, with seeded jitter when configured.
+
+        A bare constant synchronises every idle client into a polling
+        herd hitting the backend in the same tick; positive
+        ``poll_jitter_s`` decorrelates them with a deterministic
+        per-client draw. Zero jitter (the default) draws nothing and
+        leaves the event trace unchanged.
+        """
+        base = self._protocol.poll_interval_s
+        if self._poll_rng is not None and self._protocol.poll_jitter_s > 0.0:
+            return base + self._poll_rng.uniform(0.0, self._protocol.poll_jitter_s)
+        return base
+
     def _ack_estimate_s(self, batch: PhotoBatch) -> float:
-        """Deterministic lower bound on the upload's ACK round trip."""
+        """Deterministic lower bound on the upload's ACK round trip.
+
+        The per-photo service term comes from the assignment's
+        ``processing_s_per_photo`` hint — the server owns its service
+        model; the client no longer imports backend internals.
+        """
         transfer = self._link.uplink.transfer_time(
             self._photo_size_mb * len(batch.photos)
         )
-        return transfer + PROCESSING_S_PER_PHOTO * len(batch.photos)
+        return transfer + self._service_hint_spp * len(batch.photos)
 
     def _on_upload_timeout(self) -> None:
         if not self._active or self._pending_batch is None:
@@ -400,7 +436,7 @@ class MobileClient:
             self._end_span("_upload_span", outcome="abandoned")
             self._pending_batch = None
             self._sim.schedule(
-                POLL_INTERVAL_S, self._request_task, label=f"{self._client_id}:poll"
+                self._poll_delay(), self._request_task, label=f"{self._client_id}:poll"
             )
             return
         self._upload_attempt += 1
@@ -410,6 +446,18 @@ class MobileClient:
 
     def _on_result(self, result: ProcessingResult) -> None:
         if not self._active:
+            return
+        if result.retry_after_s is not None and not result.ok:
+            # Backpressure: the backend shed the upload unprocessed. Not
+            # a verdict on the batch — honor the hint and retransmit.
+            if (
+                self._pending_batch is not None
+                and result.batch_id == self._pending_batch.batch_id
+            ):
+                self._handle_backpressure(result)
+            else:
+                self.stats.stale_responses += 1
+                self._m_stale.inc()
             return
         advances_loop = result.batch_id is None  # legacy un-id'd exchange
         if result.batch_id is not None:
@@ -443,6 +491,34 @@ class MobileClient:
             return
         if advances_loop:
             self._sim.schedule(1.0, self._request_task, label=f"{self._client_id}:next")
+
+    def _handle_backpressure(self, result: ProcessingResult) -> None:
+        """Shed upload: back off for at least the server's hint, resend."""
+        self.stats.backpressure += 1
+        self._m_backpressure.inc()
+        if self._upload_rto is not None:
+            self._upload_rto.cancel()
+            self._upload_rto = None
+        if self._upload_attempt >= self._protocol.max_retries:
+            # Persistently overloaded; give the batch up like a timeout
+            # would — the lease reaper requeues the task.
+            self.stats.uploads_abandoned += 1
+            self._m_uploads_abandoned.inc()
+            self._end_span("_upload_span", outcome="abandoned")
+            self._pending_batch = None
+            self._sim.schedule(
+                self._poll_delay(), self._request_task, label=f"{self._client_id}:poll"
+            )
+            return
+        self._upload_attempt += 1
+        self.stats.retries += 1
+        self._m_retries.inc()
+        delay = self._protocol.timeout_for(
+            self._upload_attempt, floor_s=result.retry_after_s
+        )
+        self._sim.schedule(
+            delay, self._transmit_batch, label=f"{self._client_id}:backoff-upload"
+        )
 
     # -- internals -------------------------------------------------------------------
 

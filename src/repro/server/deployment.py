@@ -67,6 +67,12 @@ class DeploymentReport:
     tasks_failed: int = 0
     leases_expired: int = 0
     dropouts: int = 0
+    # -- SfM-lane accounting (all zero under the infinite-server model) --
+    batches_shed: int = 0
+    client_backpressure: int = 0
+    sfm_queue_wait_s: float = 0.0
+    sfm_peak_queue_depth: int = 0
+    sfm_service_time_s: float = 0.0
 
     @property
     def baseline_view(self) -> tuple:
@@ -123,6 +129,7 @@ class Deployment:
                 bench.venue, bench.config, bench.rng.stream("deploy-processor")
             ),
             protocol=bench.config.protocol,
+            backend=bench.config.backend,
         )
         annotation = AnnotationCampaign(
             bench.venue, bench.capture, bench.config, bench.rng.stream("deploy-annot")
@@ -149,6 +156,13 @@ class Deployment:
                 if participant.dropout_hazard > 0.0
                 else None
             )
+            # Only materialised when jitter is on: the zero-jitter trace
+            # must stay identical to the poll-herd baseline.
+            poll_rng = (
+                bench.rng.stream(f"deploy-poll-{i}")
+                if bench.config.protocol.poll_jitter_s > 0.0
+                else None
+            )
             self.clients.append(
                 MobileClient(
                     client_id=f"client-{i}",
@@ -163,6 +177,7 @@ class Deployment:
                     photo_size_mb=network.photo_size_mb,
                     protocol=bench.config.protocol,
                     rng=client_rng,
+                    poll_rng=poll_rng,
                 )
             )
         self._dropouts: Dict[str, float] = dict(dropouts or {})
@@ -228,4 +243,9 @@ class Deployment:
             tasks_failed=store.counter("tasks_failed"),
             leases_expired=store.counter("leases_expired"),
             dropouts=sum(1 for c in self.clients if c.stats.dropped_out),
+            batches_shed=store.counter("batches_shed"),
+            client_backpressure=sum(c.stats.backpressure for c in self.clients),
+            sfm_queue_wait_s=self.server.sfm_queue_wait_total_s,
+            sfm_peak_queue_depth=self.server.sfm_peak_queue_depth,
+            sfm_service_time_s=self.server.sfm_service_time_total_s,
         )

@@ -54,6 +54,12 @@ class TaskAssignment:
     at which the backend reaps the assignment and requeues the task if
     the photos have not arrived. ``request_id`` echoes the request so the
     client can discard stale or duplicated responses.
+
+    ``processing_s_per_photo`` is the server's expected per-photo SfM
+    service time — the client derives its upload RTO floor from it
+    instead of importing backend internals. ``retry_after_s`` is set on
+    empty assignments when the processing lane is saturated: a hint for
+    when re-polling is worthwhile.
     """
 
     client_id: str
@@ -61,6 +67,8 @@ class TaskAssignment:
     venue_covered: bool = False
     request_id: Optional[str] = None
     lease_expires_at: Optional[float] = None
+    processing_s_per_photo: Optional[float] = None
+    retry_after_s: Optional[float] = None
 
     @property
     def message_type(self) -> MessageType:
@@ -103,6 +111,12 @@ class ProcessingResult:
     client can cancel its retransmission timer. ``error`` is set instead
     of raising when a remote client's upload is malformed — a bad upload
     must never crash the event loop.
+
+    ``retry_after_s`` marks a *backpressure* reply: the admission queue
+    was full, the batch was shed unprocessed, and the client should
+    retransmit no sooner than the hint. Shed replies are not verdicts —
+    they are never ledgered or logged, and the batch id stays live for
+    the eventual real processing.
     """
 
     client_id: str
@@ -112,6 +126,7 @@ class ProcessingResult:
     venue_covered: bool
     batch_id: Optional[str] = None
     error: Optional[str] = None
+    retry_after_s: Optional[float] = None
 
     @property
     def ok(self) -> bool:

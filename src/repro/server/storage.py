@@ -35,6 +35,22 @@ class MapSnapshot:
 
 
 @dataclass(frozen=True)
+class ArchivedBatch:
+    """Durable record of one processed batch, kept after ledger eviction.
+
+    The backend's in-memory dedup ledger is bounded (entries are evicted
+    once the owning task is terminal and the retention window passes);
+    the archive is what answers a duplicate that arrives *after*
+    eviction — enough to synthesise a safe re-ACK without reprocessing.
+    """
+
+    batch_id: str
+    task_id: Optional[int]
+    photos_added: bool
+    error: Optional[str] = None
+
+
+@dataclass(frozen=True)
 class Lease:
     """One live task assignment with its simulated-time expiry."""
 
@@ -56,6 +72,7 @@ class BackendStore:
         self._tasks: Dict[int, Task] = {}
         self._assignments: Dict[int, str] = {}  # task id -> client id
         self._leases: Dict[int, Lease] = {}  # task id -> live lease
+        self._batch_archive: Dict[str, ArchivedBatch] = {}
         self._counters: Dict[str, int] = {}
 
     @property
@@ -208,6 +225,31 @@ class BackendStore:
     def recorded_task_count(self) -> int:
         """Every task the backend ever issued to a client."""
         return len(self._tasks)
+
+    # -- batch archive ---------------------------------------------------------------
+
+    def archive_batch(
+        self,
+        batch_id: str,
+        task_id: Optional[int],
+        photos_added: bool,
+        error: Optional[str] = None,
+    ) -> ArchivedBatch:
+        """Persist a processed batch's outcome past its ledger eviction."""
+        record = ArchivedBatch(
+            batch_id=batch_id,
+            task_id=task_id,
+            photos_added=photos_added,
+            error=error,
+        )
+        self._batch_archive[batch_id] = record
+        return record
+
+    def archived_batch(self, batch_id: str) -> Optional[ArchivedBatch]:
+        return self._batch_archive.get(batch_id)
+
+    def archived_batch_count(self) -> int:
+        return len(self._batch_archive)
 
     # -- counters --------------------------------------------------------------------
 

@@ -27,7 +27,7 @@ from .artifact import load_artifact, replay_artifact, write_artifact
 from .fuzzer import FuzzSummary, run_fuzz
 from .harness import CampaignResult, run_scenario
 from .invariants import InvariantRegistry, InvariantViolationError, Violation
-from .mutations import MUTATIONS, apply_mutation, mutation_probe
+from .mutations import MUTATIONS, apply_mutation, mutation_probe, overload_probe
 from .scenario import Scenario
 from .shrink import shrink_scenario
 
@@ -42,6 +42,7 @@ __all__ = [
     "apply_mutation",
     "load_artifact",
     "mutation_probe",
+    "overload_probe",
     "replay_artifact",
     "run_fuzz",
     "run_scenario",

@@ -20,7 +20,7 @@ from typing import Callable, Dict, List, Optional, Union
 from ..simkit.rng import RngStream
 from .artifact import make_artifact, write_artifact
 from .harness import CampaignResult, run_scenario
-from .mutations import mutation_probe
+from .mutations import MUTATIONS, mutation_probe
 from .scenario import Scenario
 from .shrink import DEFAULT_SHRINK_BUDGET, shrink_scenario
 
@@ -119,8 +119,10 @@ def run_fuzz(
         if mutation is not None and index == 0:
             # Mutation mode leads with the crafted probe scenario: sampled
             # campaigns rarely produce the traffic shapes (e.g. a
-            # post-completion duplicate upload) the planted bugs need.
-            scenario = mutation_probe()
+            # post-completion duplicate upload, a saturated SfM lane) the
+            # planted bugs need. Mutations with a dedicated probe use it.
+            probe = MUTATIONS[mutation].probe if mutation in MUTATIONS else None
+            scenario = probe() if probe is not None else mutation_probe()
             seed = scenario.seed
         else:
             scenario = Scenario.sample(seed)

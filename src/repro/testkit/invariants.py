@@ -86,6 +86,7 @@ class InvariantRegistry:
         "lease-exclusivity",
         "ledger-idempotency",
         "coverage-monotonicity",
+        "admission-bound",
     )
     #: Names of the checkpointed incremental-vs-oracle invariants.
     CHECKPOINT_INVARIANTS = (
@@ -108,6 +109,8 @@ class InvariantRegistry:
         # incremental cursors
         self._seen_results = 0
         self._seen_batch_ids: Dict[str, int] = {}  # batch_id -> result index
+        self._service_cursor = 0  # consumed prefix of the FIFO audit log
+        self._last_service_seq = 0
         self._last_raw_points = 0
         self._last_iteration = 0
         self._grid_cells = 0
@@ -143,6 +146,7 @@ class InvariantRegistry:
         self._check_lease_exclusivity(token)
         new_batches = self._check_ledger_idempotency(token)
         self._check_coverage_monotonicity(token)
+        self._check_admission_bound(token)
         if new_batches and self.oracle_checks:
             self._batches_since_checkpoint += new_batches
             if self._batches_since_checkpoint >= self.checkpoint_every:
@@ -238,15 +242,74 @@ class InvariantRegistry:
                 )
             self._seen_batch_ids[bid] = index
         self._seen_results = len(results)
+        store = self._server.store
         for bid in self._seen_batch_ids:
-            if self._server.ledger_entry(bid) is None:
+            if self._server.ledger_contains(bid):
+                if self._server.ledger_entry(bid) is None:
+                    self._fail(
+                        token,
+                        "ledger-idempotency",
+                        f"ledger entry for completed batch {bid!r} reopened "
+                        f"(dedup bypassed; replay would double-apply)",
+                    )
+            elif store.archived_batch(bid) is None:
+                # Eviction is legal only through the GC path, which
+                # archives the outcome first; an entry vanishing with no
+                # archive record means dedup protection is simply gone.
                 self._fail(
                     token,
                     "ledger-idempotency",
-                    f"ledger entry for completed batch {bid!r} reopened "
-                    f"(dedup bypassed; replay would double-apply)",
+                    f"ledger entry for completed batch {bid!r} vanished "
+                    f"without an archive record (replay would double-apply)",
                 )
         return len(fresh)
+
+    def _check_admission_bound(self, token) -> None:
+        """The SfM lane respects its declared bounds and serves FIFO.
+
+        With a bounded pool configured: never more busy workers than the
+        pool size, never a deeper admission queue than the bound (excess
+        must be shed, not queued), no idle worker while batches wait
+        (work conservation), and service starts in admission order.
+        """
+        server = self._server
+        limit = server.sfm_worker_limit
+        if limit is None:
+            return
+        busy = server.sfm_busy_workers
+        if busy > limit:
+            self._fail(
+                token,
+                "admission-bound",
+                f"{busy} busy SfM workers exceed the pool bound {limit}",
+            )
+        depth = server.sfm_queue_depth
+        queue_limit = server.sfm_queue_limit
+        if queue_limit is not None and depth > queue_limit:
+            self._fail(
+                token,
+                "admission-bound",
+                f"admission queue depth {depth} exceeds bound {queue_limit} "
+                f"(overflow must be shed, not queued)",
+            )
+        if depth > 0 and busy < limit:
+            self._fail(
+                token,
+                "admission-bound",
+                f"{depth} batches queued while only {busy}/{limit} workers busy "
+                f"(lane is not work-conserving)",
+            )
+        order = server.sfm_service_order()
+        for seq in order[self._service_cursor:]:
+            if seq <= self._last_service_seq:
+                self._fail(
+                    token,
+                    "admission-bound",
+                    f"service started for admission #{seq} after #"
+                    f"{self._last_service_seq} (FIFO order violated)",
+                )
+            self._last_service_seq = seq
+        self._service_cursor = len(order)
 
     def _check_coverage_monotonicity(self, token) -> None:
         """Mapping knowledge only grows; the covered verdict latches.

@@ -27,6 +27,9 @@ class Mutation:
     description: str
     expected_invariant: str  # which invariant should catch it
     patch: Callable[[], contextlib.AbstractContextManager]
+    #: Scenario factory whose traffic shape triggers this bug; mutation-
+    #: mode fuzzing leads with it (``None`` = the default probe).
+    probe: Optional[Callable[[], "object"]] = None
 
 
 @contextlib.contextmanager
@@ -107,6 +110,31 @@ def _leak_completed_lease():
 
 
 # ----------------------------------------------------------------------
+# skip-admission-bound: overload stops shedding; everything queues
+# ----------------------------------------------------------------------
+
+
+def _skip_admission_bound():
+    """Admission control stops refusing work; the bounded queue overfills.
+
+    With ``_overloaded`` pinned False the backend queues every arrival
+    even when the admission queue is at its declared bound — the
+    unbounded-buffer bug admission control exists to prevent. The
+    admission-bound invariant sees the queue depth exceed the bound at
+    the offending upload's arrival event.
+    """
+    from ..server.backend import BackendServer
+
+    def factory(original):
+        def _overloaded(self):
+            return False
+
+        return _overloaded
+
+    return _patched(BackendServer, "_overloaded", factory)
+
+
+# ----------------------------------------------------------------------
 # skip-map-dirty-marking: incremental maps stop re-merging changed columns
 # ----------------------------------------------------------------------
 
@@ -151,6 +179,13 @@ MUTATIONS: Dict[str, Mutation] = {
             expected_invariant="map-oracle-exactness",
             patch=_skip_map_dirty_marking,
         ),
+        Mutation(
+            name="skip-admission-bound",
+            description="backend admits uploads past the bounded SfM queue",
+            expected_invariant="admission-bound",
+            patch=_skip_admission_bound,
+            probe=lambda: overload_probe(),
+        ),
     )
 }
 
@@ -184,6 +219,41 @@ def mutation_probe():
         n_clients=1,
         jitter_s=6.0,
         rto_initial_s=2.0,
+        until_s=6000.0,
+        checkpoint_every=2,
+    )
+
+
+def overload_probe():
+    """A scenario crafted to saturate a bounded SfM lane.
+
+    Random scenarios with a bounded pool usually also draw small crowds
+    and a serial task stream, so the admission queue rarely reaches its
+    bound and ``skip-admission-bound`` could survive a sampled campaign.
+    This scenario forces saturation deterministically: one worker with a
+    zero-length admission queue, three clients fed from a parallel task
+    stream (``max_tasks=3``), lossless links so every upload arrives.
+    Any two concurrent uploads overfill the lane — the healthy backend
+    sheds the second; the mutated backend queues it past the bound,
+    which the admission-bound invariant fails on arrival.
+
+    Mutation-mode fuzzing for ``skip-admission-bound`` runs this as
+    campaign 0.
+    """
+    from .scenario import Scenario
+
+    return Scenario(
+        seed=4,
+        venue_seed=11,
+        venue_width_m=8.0,
+        venue_depth_m=7.0,
+        glass_walls=1,
+        n_furniture=1,
+        n_hotspots=2,
+        n_clients=3,
+        max_tasks=3,
+        sfm_workers=1,
+        sfm_queue_limit=0,
         until_s=6000.0,
         checkpoint_every=2,
     )

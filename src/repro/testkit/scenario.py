@@ -15,7 +15,7 @@ from __future__ import annotations
 from dataclasses import asdict, dataclass, replace
 from typing import Dict, Optional, Tuple
 
-from ..config import FaultConfig, SnapTaskConfig, paper_config
+from ..config import BackendConfig, FaultConfig, SnapTaskConfig, paper_config
 from ..simkit.rng import RngStream
 
 #: Artifact schema version for serialised scenarios.
@@ -53,6 +53,13 @@ class Scenario:
     lease_duration_s: float = 600.0
     rto_initial_s: float = 4.0
     upload_subbatch: int = 45
+    poll_jitter_s: float = 0.0
+    # -- backend SfM lane (None/None = legacy infinite-server model) --
+    sfm_workers: Optional[int] = None
+    sfm_queue_limit: Optional[int] = None
+    #: Parallel photo tasks the backend may issue per processed batch;
+    #: >1 lets several clients upload concurrently (overload pressure).
+    max_tasks: int = 1
     # -- run bounds + checking cadence --
     until_s: float = 12_000.0
     max_events: int = 40_000
@@ -73,6 +80,9 @@ class Scenario:
         crowd = rng.child("crowd")
         faults = rng.child("faults")
         proto = rng.child("protocol")
+        # Independent child: adding the backend axes never perturbs the
+        # draws (and thus the scenarios) of the streams above.
+        backend = rng.child("backend")
 
         n_clients = crowd.integers(1, 5)
         dropouts: Tuple[Tuple[str, float], ...] = ()
@@ -90,6 +100,17 @@ class Scenario:
                 acc.append((round(cursor, 3), round(cursor + length, 3)))
                 cursor += length + faults.uniform(200.0, 2000.0)
             windows = tuple(acc)
+
+        sfm_workers: Optional[int] = None
+        sfm_queue_limit: Optional[int] = None
+        if backend.chance(0.35):
+            sfm_workers = int(backend.integers(1, 5))
+            if backend.chance(0.5):
+                sfm_queue_limit = int(backend.choice([0, 2, 8]))
+        max_tasks = int(backend.choice([1, 1, 2, 3]))
+        poll_jitter_s = (
+            round(backend.uniform(0.5, 4.0), 3) if backend.chance(0.3) else 0.0
+        )
 
         return cls(
             seed=seed,
@@ -115,6 +136,10 @@ class Scenario:
             lease_duration_s=float(proto.choice([120.0, 300.0, 600.0])),
             rto_initial_s=float(proto.choice([2.0, 4.0])),
             upload_subbatch=int(proto.choice([15, 30, 45])),
+            poll_jitter_s=poll_jitter_s,
+            sfm_workers=sfm_workers,
+            sfm_queue_limit=sfm_queue_limit,
+            max_tasks=max_tasks,
             until_s=float(proto.choice([6_000.0, 10_000.0, 16_000.0])),
             max_events=40_000,
             checkpoint_every=int(proto.choice([2, 4])),
@@ -133,8 +158,17 @@ class Scenario:
                 config.protocol,
                 lease_duration_s=self.lease_duration_s,
                 rto_initial_s=self.rto_initial_s,
+                poll_jitter_s=self.poll_jitter_s,
             ),
-            tasks=replace(config.tasks, upload_subbatch=self.upload_subbatch),
+            tasks=replace(
+                config.tasks,
+                upload_subbatch=self.upload_subbatch,
+                max_tasks=self.max_tasks,
+            ),
+            backend=BackendConfig(
+                sfm_workers=self.sfm_workers,
+                queue_limit=self.sfm_queue_limit,
+            ),
         )
         return config.validate()
 
@@ -212,6 +246,13 @@ class Scenario:
             fault_bits.append(f"hazard={self.dropout_hazard:.2f}")
         if self.dropouts:
             fault_bits.append(f"dropouts x{len(self.dropouts)}")
+        if self.sfm_workers is not None:
+            limit = "inf" if self.sfm_queue_limit is None else self.sfm_queue_limit
+            fault_bits.append(f"workers={self.sfm_workers} q={limit}")
+        if self.max_tasks != 1:
+            fault_bits.append(f"max_tasks={self.max_tasks}")
+        if self.poll_jitter_s:
+            fault_bits.append(f"poll_jit={self.poll_jitter_s:.1f}s")
         return (
             f"venue {self.venue_width_m:.0f}x{self.venue_depth_m:.0f}m "
             f"clients={self.n_clients} lease={self.lease_duration_s:.0f}s "

@@ -115,6 +115,17 @@ def _candidates(s: Scenario) -> List[Tuple[str, Scenario]]:
         out.append(("rto_initial_s=4", replace(s, rto_initial_s=4.0)))
     if s.upload_subbatch != 45:
         out.append(("upload_subbatch=45", replace(s, upload_subbatch=45)))
+    if s.poll_jitter_s:
+        out.append(("poll_jitter_s=0", replace(s, poll_jitter_s=0.0)))
+    # -- backend lane back to the infinite-server default --
+    if s.sfm_workers is not None:
+        out.append(
+            ("sfm_workers=None", replace(s, sfm_workers=None, sfm_queue_limit=None))
+        )
+    if s.sfm_queue_limit is not None:
+        out.append(("sfm_queue_limit=None", replace(s, sfm_queue_limit=None)))
+    if s.max_tasks != 1:
+        out.append(("max_tasks=1", replace(s, max_tasks=1)))
     # -- tighter checking finds the same bug earlier --
     if s.checkpoint_every > 1:
         out.append(("checkpoint_every=1", replace(s, checkpoint_every=1)))
