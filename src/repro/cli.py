@@ -14,6 +14,10 @@ Commands:
 * ``fuzz``      — deterministic simulation-testing campaigns: seeded
                    random scenarios under the live invariant registry,
                    with failing-seed shrinking and replayable artifacts
+                   (``--crashes`` forces backend crash-restarts)
+* ``recover``   — crash the backend mid-deployment, recover it from
+                   WAL + snapshot, and diff the converged campaign
+                   against its crash-free twin
 """
 
 from __future__ import annotations
@@ -193,6 +197,7 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         shrink=not args.no_shrink,
         check_determinism=not args.no_determinism,
         scratch_twin_every=args.scratch_twin_every,
+        crashes=args.crashes,
         artifact_dir=args.artifacts,
         max_failures=args.max_failures,
         progress=print,
@@ -231,6 +236,68 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         # In mutation mode the *failure* is the success condition.
         return 0 if caught else 1
     return 0 if summary.ok else 1
+
+
+def cmd_recover(args: argparse.Namespace) -> int:
+    from dataclasses import replace
+
+    from .eval import Workbench
+    from .server import Deployment
+
+    config = paper_config(seed=args.seed).with_persistence(
+        snapshot_every_batches=args.snapshot_every
+    )
+    faults = replace(
+        config.network.faults,
+        backend_crashes=((args.crash_at, args.downtime),),
+    )
+    bench = Workbench.for_library(config)
+    deployment = Deployment(bench, n_clients=args.clients, faults=faults)
+    report = deployment.run(until_s=args.until)
+    host = deployment.host
+    print(
+        f"crashed run: covered={report.venue_covered} "
+        f"sim_time={report.sim_time_s:.0f} s"
+    )
+    print(
+        f"  crashes: {report.backend_crashes}  recoveries: {report.backend_recoveries}  "
+        f"wal records: {report.wal_records}  snapshots: {report.snapshots_taken}"
+    )
+    audits_ok = True
+    for i, rec in enumerate(host.recovery_audits):
+        ok = rec.audit_ok
+        audits_ok = audits_ok and ok
+        print(
+            f"  recovery #{i}: snapshot seq {rec.snapshot_seq}, "
+            f"replayed {rec.replayed_records} records, "
+            f"dropped {rec.dropped_remnants} remnants, "
+            f"re-armed {rec.armed_leases} leases, "
+            f"audit {'ok' if ok else 'MISMATCH'}"
+        )
+
+    # The crash-free twin: same seed, no crash, persistence off — the
+    # plain pre-durability deployment recovery must converge to exactly.
+    twin_bench = _make_bench(args.seed)
+    twin = Deployment(twin_bench, n_clients=args.clients).run(until_s=args.until)
+    print(f"crash-free twin: covered={twin.venue_covered}")
+    if not (report.venue_covered and twin.venue_covered):
+        print("one run ended mid-campaign; raise --until to compare converged state")
+        return 0 if audits_ok else 1
+    diffs = [
+        f"  {name}: crashed={getattr(report, name)} crash-free={getattr(twin, name)}"
+        for name in ("coverage_cells", "tasks_completed", "tasks_failed", "photos_uploaded")
+        if getattr(report, name) != getattr(twin, name)
+    ]
+    if diffs:
+        print("DIVERGED from the crash-free twin:")
+        print("\n".join(diffs))
+        return 1
+    print(
+        f"converged identically: coverage_cells={report.coverage_cells} "
+        f"tasks_completed={report.tasks_completed} "
+        f"photos_uploaded={report.photos_uploaded}"
+    )
+    return 0 if audits_ok else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -293,9 +360,29 @@ def build_parser() -> argparse.ArgumentParser:
         default=0,
         help="diff every N-th campaign against its full_rebuild=True twin",
     )
+    p_fuzz.add_argument(
+        "--crashes",
+        action="store_true",
+        help="force a seeded backend crash-restart schedule onto every campaign",
+    )
     p_fuzz.add_argument("--max-failures", type=int, default=3)
     p_fuzz.add_argument("--no-shrink", action="store_true")
     p_fuzz.add_argument("--no-determinism", action="store_true")
+
+    p_recover = sub.add_parser(
+        "recover", help="crash + recover the backend; diff vs the crash-free twin"
+    )
+    p_recover.add_argument("--clients", type=int, default=1)
+    p_recover.add_argument("--until", type=float, default=40_000.0)
+    p_recover.add_argument(
+        "--crash-at", type=float, default=2_000.0, help="sim time of the crash (s)"
+    )
+    p_recover.add_argument(
+        "--downtime", type=float, default=60.0, help="backend downtime per crash (s)"
+    )
+    p_recover.add_argument(
+        "--snapshot-every", type=int, default=8, help="checkpoint every N batches"
+    )
     return parser
 
 
@@ -307,6 +394,7 @@ _COMMANDS = {
     "export": cmd_export,
     "trace": cmd_trace,
     "fuzz": cmd_fuzz,
+    "recover": cmd_recover,
 }
 
 

@@ -225,10 +225,17 @@ class FaultConfig:
     #: Half-open ``(start_s, end_s)`` simulated-time windows during which
     #: the channel is disconnected: messages sent inside a window are lost.
     disconnect_windows: Tuple[Tuple[float, float], ...] = ()
+    #: Seeded backend crash schedule: ``(at_s, downtime_s)`` pairs. At
+    #: ``at_s`` the backend process dies (in-flight work lost, messages
+    #: during downtime dropped) and restarts ``downtime_s`` later by
+    #: recovering from its snapshot + WAL. Requires persistence to be
+    #: enabled. Deliberately *not* part of :attr:`enabled` — that flag
+    #: gates per-link RNG creation and crashes are not a link fault.
+    backend_crashes: Tuple[Tuple[float, float], ...] = ()
 
     @property
     def enabled(self) -> bool:
-        """True when any fault mechanism can fire."""
+        """True when any link-fault mechanism can fire."""
         return (
             self.drop_probability > 0.0
             or self.duplicate_probability > 0.0
@@ -250,6 +257,9 @@ class FaultConfig:
         for window in self.disconnect_windows:
             if len(window) != 2 or window[0] < 0 or window[1] <= window[0]:
                 raise ConfigError(f"bad disconnect window {window!r}")
+        for crash in self.backend_crashes:
+            if len(crash) != 2 or crash[0] < 0 or crash[1] <= 0:
+                raise ConfigError(f"bad backend crash {crash!r}")
 
 
 @dataclass(frozen=True)
@@ -339,6 +349,12 @@ class ProtocolConfig:
     #: (late duplicates still re-ACK safely) and evicted, bounding ledger
     #: memory over a long campaign.
     ledger_retention_s: float = 600.0
+    #: How long an archived batch outcome survives *after* its ledger
+    #: eviction before the archive GC drops it. The total duplicate-safe
+    #: horizon for a batch id is therefore ``ledger_retention_s +
+    #: archive_retention_s`` past task completion — far beyond the
+    #: retransmission machinery's maximum backoff.
+    archive_retention_s: float = 1800.0
 
     def timeout_for(self, attempt: int, floor_s: float = 0.0) -> float:
         """Retransmission timeout for the ``attempt``-th send (0-based).
@@ -368,6 +384,35 @@ class ProtocolConfig:
             raise ConfigError("poll_jitter_s cannot be negative")
         if self.ledger_retention_s <= 0:
             raise ConfigError("ledger_retention_s must be positive")
+        if self.archive_retention_s <= 0:
+            raise ConfigError("archive_retention_s must be positive")
+
+
+@dataclass(frozen=True)
+class PersistConfig:
+    """Backend durability: write-ahead log + snapshot checkpointing.
+
+    Off by default — the lossless baseline trace must stay byte-for-byte
+    identical. When enabled, every state-mutating handler outcome is
+    appended to a WAL at its commit point and the whole backend state is
+    checkpointed every ``snapshot_every_batches`` committed photo
+    batches (checkpoints are cheap: the SfM model's frozen columns and
+    the immutable feature world are structurally shared). Recovery after
+    a crash restores the latest snapshot and replays the WAL suffix.
+    """
+
+    enabled: bool = False
+    #: Checkpoint cadence in committed photo batches. ``1`` snapshots on
+    #: every commit (shortest replay, most copying); larger values trade
+    #: replay length for checkpoint work.
+    snapshot_every_batches: int = 8
+    #: Re-run recovery twice and cross-check the recovered-state digests
+    #: (idempotence audit). Cheap relative to a crash; on by default.
+    audit_recovery: bool = True
+
+    def validate(self) -> None:
+        if self.snapshot_every_batches < 1:
+            raise ConfigError("snapshot_every_batches must be >= 1")
 
 
 @dataclass(frozen=True)
@@ -384,6 +429,7 @@ class SnapTaskConfig:
     network: NetworkConfig = field(default_factory=NetworkConfig)
     protocol: ProtocolConfig = field(default_factory=ProtocolConfig)
     backend: BackendConfig = field(default_factory=BackendConfig)
+    persist: PersistConfig = field(default_factory=PersistConfig)
     seed: int = 2018
 
     def validate(self) -> "SnapTaskConfig":
@@ -399,6 +445,7 @@ class SnapTaskConfig:
             self.network,
             self.protocol,
             self.backend,
+            self.persist,
         ):
             section.validate()
         return self
@@ -429,6 +476,21 @@ class SnapTaskConfig:
                 sfm_workers=sfm_workers,
                 queue_limit=queue_limit,
                 retry_after_floor_s=floor,
+            ),
+        )
+
+    def with_persistence(
+        self,
+        snapshot_every_batches: int = 8,
+        audit_recovery: bool = True,
+    ) -> "SnapTaskConfig":
+        """Return a copy with backend durability (WAL + snapshots) on."""
+        return replace(
+            self,
+            persist=PersistConfig(
+                enabled=True,
+                snapshot_every_batches=snapshot_every_batches,
+                audit_recovery=audit_recovery,
             ),
         )
 

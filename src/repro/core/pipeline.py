@@ -24,6 +24,7 @@ attempt counters that drive annotation-task escalation.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -175,6 +176,22 @@ class SnapTaskPipeline:
     @property
     def history(self) -> List[BatchOutcome]:
         return list(self._history)
+
+    @contextmanager
+    def compact_history(self):
+        """Temporarily truncate history to the latest outcome.
+
+        Durability snapshots deep-copy the pipeline; only ``history[-1]``
+        is ever consulted afterwards (the oracle checkpoints), so the
+        checkpoint need not copy every past batch outcome. The full list
+        is restored on exit — the live pipeline is never perturbed.
+        """
+        full = self._history
+        self._history = full[-1:]
+        try:
+            yield self
+        finally:
+            self._history = full
 
     @property
     def venue_covered(self) -> bool:

@@ -62,3 +62,11 @@ class ConfigError(ReproError):
 
 class ObservabilityError(ReproError):
     """Telemetry misuse (metric type clash, bad span lifecycle, bad export)."""
+
+
+class PersistenceError(ReproError):
+    """Durability subsystem failure (bad WAL frame, recovery misuse)."""
+
+
+class BackendUnavailableError(ProtocolError):
+    """The backend is down (crashed, not yet recovered); message is lost."""

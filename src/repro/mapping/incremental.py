@@ -34,6 +34,7 @@ and both paths share one octree lattice and one ray-marching routine.
 
 from __future__ import annotations
 
+import copy
 import math
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Set, Tuple
@@ -139,6 +140,30 @@ class IncrementalMapEngine:
                 raise MappingError("site mask shape does not match grid spec")
         self._site_mask = site_mask
         self._reset()
+
+    def __deepcopy__(self, memo):
+        """Deep copy preserving the flat/2-D grid aliasing.
+
+        ``_obst_flat``/``_vis_flat``/``_covered_flat``/``_site_flat``
+        are ``ravel()`` views of their 2-D grids; numpy deep-copies each
+        array standalone, which would sever the aliasing and silently
+        split flat-indexed writes from 2-D reads after a snapshot
+        restore. The flats are re-derived from the copied grids instead.
+        """
+        clone = self.__class__.__new__(self.__class__)
+        memo[id(self)] = clone
+        derived = ("_obst_flat", "_vis_flat", "_covered_flat", "_site_flat")
+        for name, value in self.__dict__.items():
+            if name in derived:
+                continue
+            setattr(clone, name, copy.deepcopy(value, memo))
+        clone._obst_flat = clone._obst.ravel()
+        clone._vis_flat = clone._vis.ravel()
+        clone._covered_flat = clone._covered.ravel()
+        clone._site_flat = (
+            clone._site_mask.ravel() if clone._site_mask is not None else None
+        )
+        return clone
 
     # -- state access ------------------------------------------------------------
 

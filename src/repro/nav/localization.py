@@ -46,6 +46,15 @@ class ImageLocalizer:
     def query_count(self) -> int:
         return self._query_count
 
+    def restore_query_count(self, count: int) -> None:
+        """Reset the query counter during WAL replay.
+
+        The error draws are keyed by absolute query count (the stream
+        itself never advances), so the counter is the localizer's entire
+        durable state — restoring it makes replayed fixes identical.
+        """
+        self._query_count = int(count)
+
     def locate(self, photo: Photo, model_feature_ids: Set[int]) -> Optional[PositionFix]:
         """Localize a query photo; None when too few features match.
 

@@ -15,6 +15,12 @@ The registry is designed around two constraints:
 Naming convention (see DESIGN.md "Observability"): every metric is
 ``repro.<layer>.<name>`` — e.g. ``repro.sim.events.cancelled``,
 ``repro.pipeline.phase.registration``. Phase histograms record seconds.
+
+Instruments are *process-lifetime telemetry*, not simulated state: a
+durability snapshot that deep-copies backend state must keep pointing at
+the live instruments, never clone them (a clone would silently fork the
+registry). Every instrument therefore implements ``__deepcopy__`` as
+identity.
 """
 
 from __future__ import annotations
@@ -47,6 +53,9 @@ class Counter:
         self.name = name
         self.value: Number = 0
 
+    def __deepcopy__(self, memo: dict) -> "Counter":
+        return self  # live telemetry handle, shared by snapshots
+
     def inc(self, n: Number = 1) -> None:
         self.value += n
 
@@ -63,6 +72,9 @@ class Gauge:
         self.name = name
         self.value: Number = 0
         self.max_value: Number = 0
+
+    def __deepcopy__(self, memo: dict) -> "Gauge":
+        return self  # live telemetry handle, shared by snapshots
 
     def set(self, v: Number) -> None:
         self.value = v
@@ -117,6 +129,9 @@ class Histogram:
         self.max: Optional[float] = None
         self._counts: Dict[int, int] = {}
         self._log_growth = math.log(self.growth)
+
+    def __deepcopy__(self, memo: dict) -> "Histogram":
+        return self  # live telemetry handle, shared by snapshots
 
     # -- recording ---------------------------------------------------------
 
@@ -232,6 +247,9 @@ class MetricsRegistry:
         self._instruments[name] = instrument
         return instrument
 
+    def __deepcopy__(self, memo: dict) -> "MetricsRegistry":
+        return self  # live telemetry handle, shared by snapshots
+
     def counter(self, name: str) -> Counter:
         return self._get(name, Counter)
 
@@ -270,6 +288,9 @@ class NullCounter:
     name = "null"
     value = 0
 
+    def __deepcopy__(self, memo: dict) -> "NullCounter":
+        return self
+
     def inc(self, n: Number = 1) -> None:
         pass
 
@@ -282,6 +303,9 @@ class NullGauge:
     name = "null"
     value = 0
     max_value = 0
+
+    def __deepcopy__(self, memo: dict) -> "NullGauge":
+        return self
 
     def set(self, v: Number) -> None:
         pass
@@ -305,6 +329,9 @@ class NullHistogram:
     min = None
     max = None
     mean = 0.0
+
+    def __deepcopy__(self, memo: dict) -> "NullHistogram":
+        return self
 
     def record(self, v: Number) -> None:
         pass
@@ -332,6 +359,9 @@ class NullRegistry:
     """Disabled registry: every lookup returns a shared no-op instrument."""
 
     enabled = False
+
+    def __deepcopy__(self, memo: dict) -> "NullRegistry":
+        return self
 
     def counter(self, name: str) -> NullCounter:
         return _NULL_COUNTER

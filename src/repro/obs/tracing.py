@@ -136,6 +136,9 @@ class Tracer:
 
     enabled = True
 
+    def __deepcopy__(self, memo: dict) -> "Tracer":
+        return self  # live telemetry handle, shared by snapshots
+
     def __init__(
         self,
         clock: Optional[Callable[[], float]] = None,
@@ -302,6 +305,9 @@ class NullSpan:
     sim_duration_s = 0.0
     wall_ms = 0.0
 
+    def __deepcopy__(self, memo: dict) -> "NullSpan":
+        return self
+
     def set_attr(self, key: str, value: Any) -> "NullSpan":
         return self
 
@@ -326,6 +332,9 @@ class NullTracer:
     capacity = 0
     dropped_spans = 0
     finished_count = 0
+
+    def __deepcopy__(self, memo: dict) -> "NullTracer":
+        return self
 
     def bind_clock(self, clock: Callable[[], float]) -> None:
         pass

@@ -1,0 +1,61 @@
+"""Durability subsystem: WAL + snapshot checkpointing + crash recovery.
+
+The backend's state-mutating handler outcomes are journaled to a
+write-ahead log through a versioned, CRC-framed codec
+(:mod:`repro.persist.codec`); a snapshotter periodically checkpoints
+the whole backend state as one cheap deep copy
+(:mod:`repro.persist.snapshot`); and recovery restores
+latest-snapshot + WAL-replay into a fresh server, re-arming leases at
+the recovered sim-time (:mod:`repro.persist.recovery`).
+
+:class:`BackendHost` ties it together for deployments: it owns the
+durable media, injects crash-restarts, and forwards calls to the
+current live server so clients reconnect transparently through their
+existing retry machinery.
+
+Everything here is deterministic under the simulation clock; the only
+wall-clock reads feed ``repro.persist.wall.*`` metrics, which the
+determinism digests exclude.
+"""
+
+from __future__ import annotations
+
+from .codec import CODEC_VERSION, CodecError, decode_wal, encode_record
+from .digest import state_digest, state_projection
+from .hooks import PersistenceLog
+from .host import BackendHost
+from .records import (
+    RECORD_KINDS,
+    AdmitRecord,
+    BatchRecord,
+    EmptyBatchRecord,
+    GrantRecord,
+    LocateRecord,
+    ReapRecord,
+)
+from .recovery import RecoveryManager, RecoveryResult
+from .snapshot import Snapshot, Snapshotter
+from .wal import WriteAheadLog
+
+__all__ = [
+    "CODEC_VERSION",
+    "CodecError",
+    "encode_record",
+    "decode_wal",
+    "state_digest",
+    "state_projection",
+    "PersistenceLog",
+    "BackendHost",
+    "RECORD_KINDS",
+    "GrantRecord",
+    "AdmitRecord",
+    "BatchRecord",
+    "EmptyBatchRecord",
+    "ReapRecord",
+    "LocateRecord",
+    "RecoveryManager",
+    "RecoveryResult",
+    "Snapshot",
+    "Snapshotter",
+    "WriteAheadLog",
+]

@@ -1,0 +1,114 @@
+"""Checkpointing: periodic deep-copy snapshots of backend state.
+
+A checkpoint is one :func:`copy.deepcopy` of the backend's
+``export_state()`` dict — a single memo pass, so objects shared inside
+the live graph (e.g. a Task sitting in both the dispatch queue and the
+store ledger) stay shared in the copy. The copy is cheap by
+construction: the heavyweight leaves all opt out structurally —
+
+* telemetry instruments and the tracer copy as themselves (live
+  process-lifetime handles, see ``obs.metrics`` / ``obs.tracing``),
+* the venue and feature world copy as themselves (write-once geometry),
+* the columnar SfM store's append arrays memcpy via numpy,
+* pipeline batch history is trimmed to its last entry for the copy's
+  duration (``SnapTaskPipeline.compact_history``).
+
+Snapshot cadence is counted in *committed batches* (the unit of real
+state growth), not sim seconds, so an idle backend takes no
+checkpoints. Recovery pairs the latest snapshot with the WAL suffix
+past its ``wal_position``.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..obs.metrics import NULL_REGISTRY
+from ..obs.wallclock import wall_now_s
+
+__all__ = ["Snapshot", "Snapshotter"]
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """One checkpoint: a state image and the WAL position it covers."""
+
+    seq: int
+    sim_time: float
+    wal_position: int
+    state: Dict[str, object] = field(repr=False)
+
+
+def structural_size(state: Dict[str, object]) -> int:
+    """Deterministic entry-count proxy for a snapshot's size.
+
+    Counts the growing collections of the state graph (tasks, results,
+    ledgers, GC queue, archive, service order). Sim-deterministic, so it
+    may feed a digested histogram — byte sizes would depend on host
+    pointer widths and allocator behaviour.
+    """
+    store = state["_store"]
+    size = store.recorded_task_count() + store.archived_batch_count()
+    size += len(state["_task_queue"])
+    size += len(state["_result_log"])
+    size += len(state["_request_ledger"]) + len(state["_batch_ledger"])
+    size += len(state["_gc_queue"]) + len(state["_service_order"])
+    return size
+
+
+class Snapshotter:
+    """Takes and retains backend checkpoints on a commit cadence."""
+
+    def __init__(self, wal, every_batches: int = 8, metrics=NULL_REGISTRY):
+        if every_batches < 1:
+            raise ValueError("snapshot cadence must be >= 1 committed batch")
+        self._wal = wal
+        self._every = every_batches
+        self._commits_since = 0
+        self._snapshots: List[Snapshot] = []
+        self._m_snapshots = metrics.counter("repro.persist.snapshots")
+        self._h_size = metrics.histogram(
+            "repro.persist.snapshot.size", base=8.0, growth=2.0
+        )
+        self._h_wall = metrics.histogram(
+            "repro.persist.wall.snapshot_s", base=0.001, growth=2.0
+        )
+
+    @property
+    def latest(self) -> Optional[Snapshot]:
+        return self._snapshots[-1] if self._snapshots else None
+
+    @property
+    def count(self) -> int:
+        return len(self._snapshots)
+
+    @property
+    def every_batches(self) -> int:
+        return self._every
+
+    def note_commit(self, server, sim_time: float) -> Optional[Snapshot]:
+        """Count one committed batch; checkpoint when the cadence is due."""
+        self._commits_since += 1
+        if self._commits_since < self._every:
+            return None
+        return self.checkpoint(server, sim_time)
+
+    def checkpoint(self, server, sim_time: float) -> Snapshot:
+        """Capture one snapshot of ``server`` at the current WAL position."""
+        t0 = wall_now_s()
+        with server.pipeline.compact_history():
+            state = copy.deepcopy(server.export_state())
+        snapshot = Snapshot(
+            seq=len(self._snapshots),
+            sim_time=sim_time,
+            wal_position=self._wal.position,
+            state=state,
+        )
+        self._snapshots.append(snapshot)
+        self._commits_since = 0
+        self._m_snapshots.inc()
+        self._h_size.record(structural_size(state))
+        self._h_wall.record(wall_now_s() - t0)
+        return snapshot

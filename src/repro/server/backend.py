@@ -29,12 +29,19 @@ Fault tolerance (this layer's contract with unreliable clients):
   legacy infinite-server model byte-for-byte.
 * **Bounded ledgers** — dedup entries are evicted a retention window
   after their owning task turns terminal; evicted batch outcomes are
-  archived in the store so late duplicates still re-ACK safely.
+  archived in the store so late duplicates still re-ACK safely (the
+  archive itself is GC'd ``archive_retention_s`` after eviction).
+* **Durability hooks** — when a :mod:`repro.persist` log is attached,
+  every state-mutating handler outcome is appended to the WAL at its
+  commit point, and :meth:`replay_record` re-applies records during
+  recovery with a pinned replay clock (``_now``). A crashed server is
+  *fenced*: its still-scheduled events become no-ops so they cannot act
+  on (or ghost-ACK against) post-recovery state.
 """
 
 from __future__ import annotations
 
-import itertools
+import pickle
 from collections import deque
 from dataclasses import replace
 from typing import Callable, Deque, Dict, List, Optional, Tuple
@@ -43,8 +50,17 @@ from ..annotation.processor import AnnotationProcessor
 from ..config import BackendConfig, ProtocolConfig
 from ..core.pipeline import SnapTaskPipeline
 from ..core.tasks import Task, TaskKind, TaskStatus
-from ..errors import ProtocolError
+from ..errors import BackendUnavailableError, PersistenceError, ProtocolError
+from ..geometry import Vec2
 from ..nav.localization import ImageLocalizer, PositionFix
+from ..persist.records import (
+    AdmitRecord,
+    BatchRecord,
+    EmptyBatchRecord,
+    GrantRecord,
+    LocateRecord,
+    ReapRecord,
+)
 from ..simkit.events import EventToken, Simulator
 from .messages import PhotoBatch, ProcessingResult, TaskAssignment, TaskRequest
 from .storage import BackendStore
@@ -52,6 +68,34 @@ from .storage import BackendStore
 #: Simulated server-side processing time per uploaded photo (SfM is the
 #: paper's acknowledged bottleneck, Sec. II-A).
 PROCESSING_S_PER_PHOTO = 0.35
+
+#: Backend state captured by durability snapshots (deep-copied as one
+#: graph so shared objects — e.g. Task instances living in both the
+#: dispatch queue and the store — stay shared in the copy). Live lane
+#: scheduling (``_sfm_queue``/``_busy_until``), reap timers and open
+#: spans are deliberately absent: in-flight work dies with the crash and
+#: timers are re-armed from store leases on recovery.
+PERSISTED_FIELDS = (
+    "_pipeline",
+    "_store",
+    "_localizer",
+    "_annotation",
+    "_protocol",
+    "_backend",
+    "_task_queue",
+    "_result_log",
+    "_request_ledger",
+    "_batch_ledger",
+    "_inflight_batches",
+    "_admit_watermark",
+    "_service_order",
+    "_queue_wait_total",
+    "_peak_queue_depth",
+    "_service_time_total",
+    "_gc_queue",
+    "_rids_by_task",
+    "_bids_by_task",
+)
 
 
 class BackendServer:
@@ -99,7 +143,11 @@ class BackendServer:
         self._sfm_queue: Deque[tuple] = deque()
         #: Service-completion times of the currently busy workers.
         self._busy_until: List[float] = []
-        self._admit_seq = itertools.count(1)
+        #: Highest admission seq ever issued (next admit gets +1). A plain
+        #: int so snapshots capture it and recovery resumes *strictly
+        #: above* every seq a pre-crash batch may have carried — the FIFO
+        #: service-order audit must keep seeing increasing seqs.
+        self._admit_watermark = 0
         #: Admission sequence numbers in service-start order (FIFO audit).
         self._service_order: List[int] = []
         self._queue_wait_total = 0.0
@@ -110,6 +158,15 @@ class BackendServer:
         self._gc_queue: Deque[Tuple[float, tuple, tuple]] = deque()
         self._rids_by_task: Dict[int, List[str]] = {}
         self._bids_by_task: Dict[int, List[str]] = {}
+        # -- durability (repro.persist; all dormant when detached) --
+        #: Attached persistence log (WAL + snapshotter), or None.
+        self._persist = None
+        #: Pinned replay clock during recovery (None = live sim time).
+        self._replay_now: Optional[float] = None
+        #: True once this instance crashed: every still-scheduled event
+        #: belonging to it must become a no-op (a recovered twin owns the
+        #: state now).
+        self._fenced = False
         # Telemetry (shared with everything on this event loop).
         obs = simulator.telemetry
         self._tracer = obs.tracer
@@ -135,8 +192,185 @@ class BackendServer:
         )
         self._g_sfm_queue = metrics.gauge("repro.server.sfm_queue_depth")
         self._g_sfm_busy = metrics.gauge("repro.server.sfm_busy_workers")
+        self._g_archive = metrics.gauge("repro.server.batch_archive_entries")
         #: task_id -> open lease span (request -> upload ACK / expiry).
         self._lease_spans: Dict[int, object] = {}
+
+    def _now(self) -> float:
+        """Handler-visible time: live sim time, or the pinned replay time.
+
+        WAL replay re-invokes the real handlers after a restart, when the
+        simulator clock has already advanced past the recorded commit
+        times; pinning the clock makes replayed mutations (lease expiry
+        times, GC deadlines) identical to the live run's.
+        """
+        return self._replay_now if self._replay_now is not None else self._sim.now
+
+    # -- durability hooks (repro.persist) --------------------------------------------
+
+    @property
+    def persistence(self):
+        """The attached persistence log, or None."""
+        return self._persist
+
+    def attach_persistence(self, log) -> None:
+        """Attach a :class:`repro.persist.host.PersistenceLog` (WAL hook)."""
+        self._persist = log
+
+    def export_state(self) -> Dict[str, object]:
+        """Live references to every persisted field (see PERSISTED_FIELDS).
+
+        The caller (the snapshotter) deep-copies the returned dict as one
+        graph; nothing here copies.
+        """
+        return {name: getattr(self, name) for name in PERSISTED_FIELDS}
+
+    def install_state(self, state: Dict[str, object]) -> None:
+        """Adopt a recovered state graph (recovery glue; no copying)."""
+        missing = set(PERSISTED_FIELDS) - set(state)
+        if missing:
+            raise PersistenceError(f"snapshot missing fields: {sorted(missing)}")
+        for name in PERSISTED_FIELDS:
+            setattr(self, name, state[name])
+
+    def fence(self) -> None:
+        """Mark this (crashed) instance dead to the simulation.
+
+        Its already-scheduled events — service completions, lease reaps —
+        still sit in the event heap; fencing turns them into no-ops so a
+        stale twin can neither mutate recovered state (it holds the old
+        object graph) nor append to the shared WAL / ghost-ACK clients.
+        Open lease spans are closed as ``crashed`` and reap timers
+        cancelled (satellite: cancelled-but-pending timers must not fire
+        against post-recovery state).
+        """
+        self._fenced = True
+        self._persist = None
+        for token in self._lease_reaps.values():
+            if not token.executed:
+                token.cancel()
+        self._lease_reaps.clear()
+        for task_id in list(self._lease_spans):
+            self._end_lease_span(task_id, "crashed")
+
+    @property
+    def fenced(self) -> bool:
+        return self._fenced
+
+    def arm_recovered_leases(self) -> int:
+        """Re-arm one reap timer per live lease after recovery.
+
+        A lease that expired during the outage fires immediately
+        (``max(expires_at, now)``) — the grace the client lost to the
+        crash is not extended, but time cannot run backwards either.
+        """
+        armed = 0
+        for lease in self._store.active_leases():
+            self._schedule_lease_reap(
+                lease.task_id, max(lease.expires_at, self._sim.now)
+            )
+            armed += 1
+        return armed
+
+    def replay_record(self, record) -> None:
+        """Re-apply one WAL record during recovery.
+
+        Must run with persistence detached (no re-logging) on a freshly
+        restored server; mutations go through the *real* handlers with
+        the replay clock pinned to the record's commit time, so replayed
+        state is handler-for-handler what the live run produced.
+        """
+        if self._persist is not None:
+            raise PersistenceError("replay with persistence attached would re-log")
+        if isinstance(record, GrantRecord):
+            self._replay_now = record.t
+            position = (
+                Vec2(record.position_x, record.position_y)
+                if record.position_x is not None and record.position_y is not None
+                else None
+            )
+            self.handle_task_request(
+                TaskRequest(
+                    client_id=record.client_id,
+                    position=position,
+                    request_id=record.request_id,
+                )
+            )
+        elif isinstance(record, AdmitRecord):
+            # Admission bookkeeping only — the photos (if they committed)
+            # arrive with the matching BatchRecord; if they did not, the
+            # remnants are dropped after replay.
+            self._replay_now = record.t
+            self._gc_ledgers()
+            if record.batch_id is not None:
+                self._batch_ledger[record.batch_id] = None
+            if record.task_id is not None:
+                self._inflight_batches[record.task_id] = (
+                    self._inflight_batches.get(record.task_id, 0) + 1
+                )
+            if record.seq is not None and record.seq > self._admit_watermark:
+                self._admit_watermark = record.seq
+        elif isinstance(record, BatchRecord):
+            self._replay_now = record.done_t
+            photos = pickle.loads(record.photos_blob)
+            if record.seq is not None:
+                # The bounded lane's service accounting happened at
+                # service start; re-apply it from the record before the
+                # commit itself.
+                self._service_order.append(record.seq)
+                self._queue_wait_total += record.wait_s
+                self._h_queue_wait.record(record.wait_s)
+                self._service_time_total += record.service_s
+                self._h_service.record(record.service_s)
+            self._process(
+                PhotoBatch(
+                    client_id=record.client_id,
+                    task_id=record.task_id,
+                    photos=tuple(photos),
+                    batch_id=record.batch_id,
+                ),
+                None,
+                arrived_at=record.arrived_t,
+            )
+        elif isinstance(record, EmptyBatchRecord):
+            self._replay_now = record.t
+            self.handle_photo_batch(
+                PhotoBatch(
+                    client_id=record.client_id,
+                    task_id=record.task_id,
+                    photos=(),
+                    batch_id=record.batch_id,
+                ),
+                None,
+            )
+        elif isinstance(record, ReapRecord):
+            self._replay_now = record.t
+            self._reap_lease(record.task_id)
+        elif isinstance(record, LocateRecord):
+            self._replay_now = record.t
+            if self._localizer is not None:
+                self._localizer.restore_query_count(record.query_count)
+        else:
+            raise PersistenceError(f"unknown WAL record {type(record).__name__}")
+
+    def end_replay(self) -> None:
+        """Unpin the replay clock (handlers read live sim time again)."""
+        self._replay_now = None
+
+    def drop_inflight_remnants(self) -> int:
+        """Forget batches admitted but never committed before the crash.
+
+        Their photos died with the process; the clients' retransmission
+        timers are still running and will re-upload them, at which point
+        the fresh ledger entries admit them as new batches.
+        """
+        dropped = 0
+        for bid, entry in list(self._batch_ledger.items()):
+            if entry is None:
+                del self._batch_ledger[bid]
+                dropped += 1
+        self._inflight_batches.clear()
+        return dropped
 
     @property
     def store(self) -> BackendStore:
@@ -238,6 +472,13 @@ class BackendServer:
         (network-level copy or client retransmission) is answered with
         the original assignment instead of leaking a second lease.
         """
+        if self._fenced:
+            raise BackendUnavailableError("backend crashed; request lost")
+        if self._persist is not None:
+            # Every arrival is logged (dedupes included): replay then
+            # reproduces the request ledger, its GC queue and the dedupe
+            # accounting exactly.
+            self._persist.log_grant(request, self._now())
         self._gc_ledgers()
         self._m_requests.inc()
         rid = request.request_id
@@ -259,7 +500,7 @@ class BackendServer:
             else:
                 # No task owns this exchange; retention alone bounds it.
                 self._gc_queue.append(
-                    (self._sim.now + self._protocol.ledger_retention_s, (rid,), ())
+                    (self._now() + self._protocol.ledger_retention_s, (rid,), ())
                 )
         return assignment
 
@@ -281,11 +522,11 @@ class BackendServer:
                 retry_after_s=self._poll_hint(),
             )
         self._store.record_task(task)
-        expires_at = self._sim.now + self._protocol.lease_duration_s
+        expires_at = self._now() + self._protocol.lease_duration_s
         assigned = self._store.assign_task(
             task.task_id,
             request.client_id,
-            granted_at=self._sim.now,
+            granted_at=self._now(),
             expires_at=expires_at,
         )
         self._schedule_lease_reap(task.task_id, expires_at)
@@ -345,6 +586,8 @@ class BackendServer:
         *shed* with a backpressure reply instead (``retry_after_s`` set,
         nothing ledgered — the client retransmits later).
         """
+        if self._fenced:
+            raise BackendUnavailableError("backend crashed; upload lost")
         self._gc_ledgers()
         self._m_batches.inc()
         bid = batch.batch_id
@@ -379,6 +622,10 @@ class BackendServer:
         if not batch.photos:
             # A remote client's malformed upload must not crash the event
             # loop: reply with a failure result and requeue the task.
+            # Commit point: the whole path is synchronous, so logging the
+            # arrival is logging the outcome (replay re-runs this path).
+            if self._persist is not None:
+                self._persist.log_empty_batch(batch, self._now())
             if bid is not None:
                 self._batch_ledger[bid] = None
             self._store.bump("empty_batches_rejected")
@@ -406,24 +653,43 @@ class BackendServer:
             return
         if bid is not None:
             self._batch_ledger[bid] = None
-        arrived_at = self._sim.now
+        arrived_at = self._now()
         if batch.task_id is not None:
             self._inflight_batches[batch.task_id] = (
                 self._inflight_batches.get(batch.task_id, 0) + 1
             )
-        self._admit(batch, on_done, arrived_at)
+        seq = self._admit(batch, on_done, arrived_at)
+        if self._persist is not None:
+            # Admission is durable bookkeeping even though the *photos*
+            # are not yet: replay restores the in-flight marks so a later
+            # logged lease-reap defers exactly as it did live, and the
+            # seq watermark so post-recovery admissions stay FIFO-ordered
+            # above every pre-crash seq.
+            self._persist.log_admit(batch, seq, arrived_at)
 
     def handle_localization_query(self, photo) -> Optional[PositionFix]:
         """Image-based positioning against the current model."""
+        if self._fenced:
+            raise BackendUnavailableError("backend crashed; query lost")
         if self._localizer is None:
             raise ProtocolError("backend has no localizer configured")
         model_ids = {int(f) for f in self._pipeline.model().cloud.feature_ids}
-        return self._localizer.locate(photo, model_ids)
+        fix = self._localizer.locate(photo, model_ids)
+        if self._persist is not None:
+            # The localizer's error draws are keyed by absolute query
+            # count (its stream never advances), so the count *is* its
+            # durable state.
+            self._persist.log_locate(self._localizer.query_count, self._now())
+        return fix
 
     # -- SfM processing lane -----------------------------------------------------------
 
-    def _admit(self, batch: PhotoBatch, on_done, arrived_at: float) -> None:
-        """Hand an accepted batch to the processing lane."""
+    def _admit(self, batch: PhotoBatch, on_done, arrived_at: float) -> Optional[int]:
+        """Hand an accepted batch to the processing lane.
+
+        Returns the admission seq under a bounded pool (``None`` under
+        the infinite-server model) — the WAL records it.
+        """
         if self._workers is None:
             # Legacy infinite-server model: every batch gets a dedicated
             # simulated worker (byte-for-byte the pre-queueing trace).
@@ -433,8 +699,10 @@ class BackendServer:
                 lambda: self._process(batch, on_done, arrived_at),
                 label=f"process-batch:{batch.client_id}",
             )
-            return
-        entry = (next(self._admit_seq), batch, on_done, arrived_at)
+            return None
+        self._admit_watermark += 1
+        seq = self._admit_watermark
+        entry = (seq, batch, on_done, arrived_at)
         if len(self._busy_until) < self._workers:
             self._start_service(entry)
         else:
@@ -442,6 +710,7 @@ class BackendServer:
             depth = len(self._sfm_queue)
             self._peak_queue_depth = max(self._peak_queue_depth, depth)
             self._g_sfm_queue.set(depth)
+        return seq
 
     def _start_service(self, entry: tuple) -> None:
         seq, batch, on_done, arrived_at = entry
@@ -467,15 +736,19 @@ class BackendServer:
         self._g_sfm_busy.set(len(self._busy_until))
         self._sim.schedule(
             service_s,
-            lambda: self._finish_service(entry, end),
+            lambda: self._finish_service(entry, end, wait, service_s),
             label=f"process-batch:{batch.client_id}",
         )
 
-    def _finish_service(self, entry: tuple, end: float) -> None:
-        _seq, batch, on_done, arrived_at = entry
+    def _finish_service(
+        self, entry: tuple, end: float, wait: float = 0.0, service_s: float = 0.0
+    ) -> None:
+        if self._fenced:
+            return  # stale completion from before a crash
+        seq, batch, on_done, arrived_at = entry
         self._busy_until.remove(end)
         self._g_sfm_busy.set(len(self._busy_until))
-        self._process(batch, on_done, arrived_at)
+        self._process(batch, on_done, arrived_at, lane=(seq, wait, service_s))
         if self._sfm_queue and len(self._busy_until) < self._workers:
             head = self._sfm_queue.popleft()
             self._g_sfm_queue.set(len(self._sfm_queue))
@@ -540,10 +813,13 @@ class BackendServer:
 
         Entries become due ``ledger_retention_s`` after their owning task
         turned terminal. Batch outcomes are archived to the store first,
-        so a duplicate arriving after eviction still re-ACKs safely.
+        so a duplicate arriving after eviction still re-ACKs safely; the
+        archive itself is dropped ``archive_retention_s`` later (same
+        inline sweep), so archive memory is bounded too.
         """
-        now = self._sim.now
+        now = self._now()
         queue = self._gc_queue
+        keep_until = now + self._protocol.archive_retention_s
         while queue and queue[0][0] <= now:
             _, rids, bids = queue.popleft()
             for rid in rids:
@@ -554,10 +830,18 @@ class BackendServer:
                 if result is None:
                     continue  # in flight again or already gone; keep safe
                 self._store.archive_batch(
-                    bid, result.task_id, result.photos_added, result.error
+                    bid,
+                    result.task_id,
+                    result.photos_added,
+                    result.error,
+                    keep_until=keep_until,
                 )
                 del self._batch_ledger[bid]
                 self._store.bump("ledger_evictions")
+        dropped = self._store.gc_archive(now)
+        if dropped:
+            self._store.bump("archive_evictions", dropped)
+        self._g_archive.set(self._store.archived_batch_count())
 
     def _note_ledgered(self, bid: Optional[str], task_id: Optional[int]) -> None:
         """Attach a ledgered batch id to its owning task for later GC."""
@@ -565,7 +849,7 @@ class BackendServer:
             return
         if task_id is None:
             self._gc_queue.append(
-                (self._sim.now + self._protocol.ledger_retention_s, (), (bid,))
+                (self._now() + self._protocol.ledger_retention_s, (), (bid,))
             )
         else:
             self._bids_by_task.setdefault(task_id, []).append(bid)
@@ -587,7 +871,7 @@ class BackendServer:
         if not rids and not bids:
             return
         self._gc_queue.append(
-            (self._sim.now + self._protocol.ledger_retention_s, rids, bids)
+            (self._now() + self._protocol.ledger_retention_s, rids, bids)
         )
 
     # -- lease reaper ------------------------------------------------------------------
@@ -606,6 +890,11 @@ class BackendServer:
         return reaped
 
     def _schedule_lease_reap(self, task_id: int, expires_at: float) -> None:
+        if self._replay_now is not None:
+            # Replayed grants must not schedule on the live (post-restart)
+            # simulator; recovery re-arms every surviving lease afterwards
+            # via arm_recovered_leases().
+            return
         token = self._sim.schedule_at(
             expires_at,
             lambda: self._reap_lease(task_id),
@@ -615,6 +904,13 @@ class BackendServer:
 
     def _reap_lease(self, task_id: int) -> bool:
         """Requeue one task whose lease expired (client presumed gone)."""
+        if self._fenced:
+            return False  # stale timer from before a crash
+        if self._persist is not None:
+            # Logged unconditionally: whether this expires the lease or
+            # defers to an in-flight upload is decided by the recovered
+            # state at replay, exactly as it was live.
+            self._persist.log_reap(task_id, self._now())
         if self._inflight_batches.get(task_id, 0) > 0:
             # The photos made it to the server before (or exactly at) the
             # expiry instant; the client did its job. Deterministically
@@ -625,7 +921,7 @@ class BackendServer:
         token = self._lease_reaps.pop(task_id, None)
         if token is not None and not token.executed:
             token.cancel()
-        requeued = self._store.expire_lease(task_id, now=self._sim.now)
+        requeued = self._store.expire_lease(task_id, now=self._now())
         if requeued is None:
             return False
         self._m_leases_expired.inc()
@@ -668,8 +964,11 @@ class BackendServer:
         batch: PhotoBatch,
         on_done: Optional[Callable[[ProcessingResult], None]],
         arrived_at: Optional[float] = None,
+        lane: Optional[Tuple[int, float, float]] = None,
     ) -> None:
-        t0 = arrived_at if arrived_at is not None else self._sim.now
+        if self._fenced:
+            return  # stale completion from before a crash
+        t0 = arrived_at if arrived_at is not None else self._now()
         if batch.task_id is not None:
             live = self._inflight_batches.get(batch.task_id, 0) - 1
             if live > 0:
@@ -738,7 +1037,14 @@ class BackendServer:
             self._note_ledgered(batch.batch_id, batch.task_id)
         self._result_log.append(result)
         self._maybe_schedule_gc(batch.task_id)
-        self._h_process.record(self._sim.now - t0)
+        if self._persist is not None:
+            # Commit point: ledger + store + pipeline mutations above are
+            # now fact; log them (and take a checkpoint if one is due)
+            # before the ACK leaves. A crash before this line loses the
+            # batch entirely (client retransmits); a crash after it loses
+            # nothing.
+            self._persist.log_batch(batch, arrived_at=t0, done_t=self._now(), lane=lane)
+        self._h_process.record(self._now() - t0)
         if span is not None:
             span.end(
                 photos_added=outcome.photos_added,

@@ -36,7 +36,7 @@ from ..camera.pose import CameraPose
 from ..config import ProtocolConfig
 from ..core.tasks import Task, TaskKind
 from ..crowd.participants import Participant
-from ..errors import ProtocolError
+from ..errors import BackendUnavailableError, ProtocolError
 from ..geometry import Vec2
 from ..nav.navigation import Navigator
 from ..simkit.events import EventToken, Simulator
@@ -208,7 +208,7 @@ class MobileClient:
         )
         self._link.uplink.send(
             request,
-            lambda msg: self._on_assignment(self._server.handle_task_request(msg)),
+            self._deliver_task_request,
             size_mb=0.001,
             label="task-request",
         )
@@ -216,6 +216,19 @@ class MobileClient:
         self._request_rto = self._sim.schedule(
             timeout, self._on_request_timeout, label=f"{self._client_id}:rto-request"
         )
+
+    def _deliver_task_request(self, msg: TaskRequest) -> None:
+        """Uplink delivery of a task request to the (live?) backend.
+
+        A crashed backend swallows the message exactly like the network
+        losing it: nothing happens now, and the request RTO retransmits
+        until a recovered instance answers.
+        """
+        try:
+            assignment = self._server.handle_task_request(msg)
+        except BackendUnavailableError:
+            return
+        self._on_assignment(assignment)
 
     def _on_request_timeout(self) -> None:
         if not self._active or self._pending_request_id is None:
@@ -388,7 +401,7 @@ class MobileClient:
         batch = self._pending_batch
         self._link.uplink.send(
             batch,
-            lambda msg: self._server.handle_photo_batch(msg, self._on_result),
+            self._deliver_photo_batch,
             size_mb=self._photo_size_mb * len(batch.photos),
             label="photo-batch",
         )
@@ -398,6 +411,17 @@ class MobileClient:
         self._upload_rto = self._sim.schedule(
             timeout, self._on_upload_timeout, label=f"{self._client_id}:rto-upload"
         )
+
+    def _deliver_photo_batch(self, msg: PhotoBatch) -> None:
+        """Uplink delivery of a photo batch (lost if the backend is down).
+
+        The upload RTO retransmits; the recovered backend's dedup ledger
+        (or batch archive) keeps the retries idempotent.
+        """
+        try:
+            self._server.handle_photo_batch(msg, self._on_result)
+        except BackendUnavailableError:
+            return
 
     def _poll_delay(self) -> float:
         """Idle re-poll wait, with seeded jitter when configured.

@@ -30,9 +30,10 @@ from ..annotation.tool import AnnotationCampaign
 from ..config import FaultConfig
 from ..crowd.guided import GuidedCampaign
 from ..crowd.participants import guided_participants
-from ..errors import ProtocolError
+from ..errors import ConfigError, ProtocolError
 from ..nav.localization import ImageLocalizer
 from ..obs import Telemetry
+from ..persist.host import BackendHost
 from ..simkit.events import Simulator
 from ..simkit.network import DuplexLink
 from .backend import BackendServer
@@ -73,6 +74,11 @@ class DeploymentReport:
     sfm_queue_wait_s: float = 0.0
     sfm_peak_queue_depth: int = 0
     sfm_service_time_s: float = 0.0
+    # -- durability accounting (all zero with persistence off) --
+    backend_crashes: int = 0
+    backend_recoveries: int = 0
+    wal_records: int = 0
+    snapshots_taken: int = 0
 
     @property
     def baseline_view(self) -> tuple:
@@ -115,11 +121,11 @@ class Deployment:
         """
         self.telemetry = telemetry if telemetry is not None else Telemetry.disabled()
         self.simulator = Simulator(telemetry=self.telemetry)
-        self.pipeline = bench.make_pipeline(
+        pipeline = bench.make_pipeline(
             telemetry=self.telemetry, full_rebuild=full_rebuild
         )
-        self.server = BackendServer(
-            self.pipeline,
+        server = BackendServer(
+            pipeline,
             self.simulator,
             venue_id=bench.venue.name,
             localizer=ImageLocalizer(
@@ -131,6 +137,16 @@ class Deployment:
             protocol=bench.config.protocol,
             backend=bench.config.backend,
         )
+        # The durable host wraps the server only when persistence is on —
+        # the persistence-off object graph (and its event trace) stays
+        # byte-for-byte the pre-durability one.
+        persist_config = bench.config.persist
+        self._host: Optional[BackendHost] = (
+            BackendHost(server, self.simulator, persist_config)
+            if persist_config.enabled
+            else None
+        )
+        self.server = self._host if self._host is not None else server
         annotation = AnnotationCampaign(
             bench.venue, bench.capture, bench.config, bench.rng.stream("deploy-annot")
         )
@@ -141,6 +157,12 @@ class Deployment:
         if faults is not None:
             faults.validate()
             network = replace(network, faults=faults)
+        self._crash_schedule = tuple(network.faults.backend_crashes)
+        if self._crash_schedule and self._host is None:
+            raise ConfigError(
+                "backend_crashes requires persistence "
+                "(config.persist.enabled / with_persistence())"
+            )
         fault_mode = network.faults.enabled
         self.links: List[DuplexLink] = []
         self.clients: List[MobileClient] = []
@@ -187,6 +209,16 @@ class Deployment:
             raise ProtocolError(f"dropout schedule names unknown clients: {sorted(unknown)}")
         self._bench = bench
 
+    @property
+    def pipeline(self):
+        """The *current* backend pipeline (recovery replaces the instance)."""
+        return self.server.pipeline
+
+    @property
+    def host(self) -> Optional[BackendHost]:
+        """The durable backend host, or None with persistence off."""
+        return self._host
+
     def client(self, client_id: str) -> MobileClient:
         for candidate in self.clients:
             if candidate.client_id == client_id:
@@ -216,6 +248,16 @@ class Deployment:
     def run(self, until_s: float = 20_000.0, max_events: int = 200_000) -> DeploymentReport:
         """Bootstrap, start all clients, and drive the event loop."""
         self.bootstrap()
+        if self._host is not None:
+            # Genesis checkpoint: recovery always has a base image, even
+            # for a crash before the first cadence snapshot.
+            self._host.genesis()
+            for at_s, downtime_s in self._crash_schedule:
+                self.simulator.schedule(
+                    at_s,
+                    lambda d=downtime_s: self._host.crash(d),
+                    label="backend-crash",
+                )
         for client in self.clients:
             client.start()
         for client_id, at_s in sorted(self._dropouts.items()):
@@ -248,4 +290,8 @@ class Deployment:
             sfm_queue_wait_s=self.server.sfm_queue_wait_total_s,
             sfm_peak_queue_depth=self.server.sfm_peak_queue_depth,
             sfm_service_time_s=self.server.sfm_service_time_total_s,
+            backend_crashes=self._host.crash_count if self._host else 0,
+            backend_recoveries=self._host.recovery_count if self._host else 0,
+            wal_records=self._host.wal.position if self._host else 0,
+            snapshots_taken=self._host.snapshotter.count if self._host else 0,
         )

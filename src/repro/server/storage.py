@@ -16,8 +16,9 @@ issued task is ever silently lost.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, replace
-from typing import Dict, List, Optional
+from typing import Deque, Dict, List, Optional, Tuple
 
 from ..core.tasks import Task, TaskStatus
 from ..errors import LeaseError, ProtocolError
@@ -48,6 +49,10 @@ class ArchivedBatch:
     task_id: Optional[int]
     photos_added: bool
     error: Optional[str] = None
+    #: Simulated time after which the archive may drop this record. The
+    #: protocol's duplicate-suppression window is finite, so the archive
+    #: is too — ``inf`` means "keep forever" (legacy callers).
+    keep_until: float = float("inf")
 
 
 @dataclass(frozen=True)
@@ -73,6 +78,7 @@ class BackendStore:
         self._assignments: Dict[int, str] = {}  # task id -> client id
         self._leases: Dict[int, Lease] = {}  # task id -> live lease
         self._batch_archive: Dict[str, ArchivedBatch] = {}
+        self._archive_queue: Deque[Tuple[float, str]] = deque()
         self._counters: Dict[str, int] = {}
 
     @property
@@ -234,15 +240,26 @@ class BackendStore:
         task_id: Optional[int],
         photos_added: bool,
         error: Optional[str] = None,
+        keep_until: float = float("inf"),
     ) -> ArchivedBatch:
-        """Persist a processed batch's outcome past its ledger eviction."""
+        """Persist a processed batch's outcome past its ledger eviction.
+
+        The entry is retained until ``keep_until`` (simulated seconds);
+        :meth:`gc_archive` drops due entries. Re-archiving the same
+        ``batch_id`` refreshes the record but *not* its queue slot — the
+        expiry sweep tolerates stale slots by re-checking ``keep_until``
+        on the live record before dropping it.
+        """
         record = ArchivedBatch(
             batch_id=batch_id,
             task_id=task_id,
             photos_added=photos_added,
             error=error,
+            keep_until=keep_until,
         )
         self._batch_archive[batch_id] = record
+        if keep_until != float("inf"):
+            self._archive_queue.append((keep_until, batch_id))
         return record
 
     def archived_batch(self, batch_id: str) -> Optional[ArchivedBatch]:
@@ -250,6 +267,50 @@ class BackendStore:
 
     def archived_batch_count(self) -> int:
         return len(self._batch_archive)
+
+    def gc_archive(self, now: float) -> int:
+        """Drop archived batches whose retention window has passed.
+
+        Archive entries are enqueued in ``keep_until`` order (callers
+        archive with a fixed retention offset from a monotonic clock), so
+        a front-of-queue sweep is O(dropped). Returns the drop count.
+        """
+        dropped = 0
+        while self._archive_queue and self._archive_queue[0][0] <= now:
+            _, batch_id = self._archive_queue.popleft()
+            record = self._batch_archive.get(batch_id)
+            if record is None or record.keep_until > now:
+                continue  # stale queue slot (re-archived later or gone)
+            del self._batch_archive[batch_id]
+            dropped += 1
+        return dropped
+
+    # -- digest projection -----------------------------------------------------------
+
+    def digest_view(self) -> Dict[str, object]:
+        """Canonical-JSON-able projection of all durable store state.
+
+        Consumed by ``repro.persist.digest`` for the recovery-idempotency
+        audit; reprs of the frozen dataclasses are exact and ordered.
+        """
+        return {
+            "venue": self._venue_id,
+            "tasks": {str(tid): repr(t) for tid, t in sorted(self._tasks.items())},
+            "assignments": {
+                str(tid): cid for tid, cid in sorted(self._assignments.items())
+            },
+            "leases": {str(tid): repr(l) for tid, l in sorted(self._leases.items())},
+            "archive": {
+                bid: repr(rec) for bid, rec in sorted(self._batch_archive.items())
+            },
+            "archive_queue": [
+                [repr(due), bid] for due, bid in self._archive_queue
+            ],
+            "snapshots": [
+                [s.version, s.iteration, s.coverage_cells] for s in self._snapshots
+            ],
+            "counters": dict(sorted(self._counters.items())),
+        }
 
     # -- counters --------------------------------------------------------------------
 

@@ -21,7 +21,10 @@ from typing import Dict, List, Optional, Tuple
 
 #: Metric-name prefixes measuring host wall time (nondeterministic by
 #: design); everything else in the registry is simulation-driven.
-WALL_METRIC_PREFIXES: Tuple[str, ...] = ("repro.pipeline.phase.",)
+WALL_METRIC_PREFIXES: Tuple[str, ...] = (
+    "repro.pipeline.phase.",
+    "repro.persist.wall.",
+)
 
 #: Span attribute keys carrying wall-clock measurements.
 _WALL_ATTR_MARKER = "wall"

@@ -100,6 +100,7 @@ def run_fuzz(
     shrink_budget: int = DEFAULT_SHRINK_BUDGET,
     check_determinism: bool = True,
     scratch_twin_every: int = 0,
+    crashes: bool = False,
     artifact_dir: Optional[Union[str, Path]] = None,
     max_failures: int = 3,
     progress: Optional[ProgressFn] = None,
@@ -108,9 +109,12 @@ def run_fuzz(
 
     ``scratch_twin_every=N`` additionally diffs every N-th campaign
     against its ``full_rebuild=True`` twin (0 disables — the twin
-    doubles that campaign's cost). Stops early after ``max_failures``
-    distinct failures; each failure is shrunk and (when
-    ``artifact_dir`` is set) written as a replayable artifact.
+    doubles that campaign's cost). ``crashes=True`` forces a seeded
+    backend crash-restart schedule (plus persistence) onto every
+    sampled scenario, concentrating the batch on the durability
+    subsystem. Stops early after ``max_failures`` distinct failures;
+    each failure is shrunk and (when ``artifact_dir`` is set) written
+    as a replayable artifact.
     """
     summary = FuzzSummary(master_seed=master_seed, campaigns=campaigns)
     say = progress or (lambda line: None)
@@ -126,6 +130,8 @@ def run_fuzz(
             seed = scenario.seed
         else:
             scenario = Scenario.sample(seed)
+        if crashes:
+            scenario = scenario.with_crashes()
         if scratch_twin_every and index % scratch_twin_every == 0:
             scenario = replace(scenario, scratch_twin=True)
         say(f"campaign {index + 1}/{campaigns} seed={seed}: {scenario.describe()}")

@@ -13,7 +13,10 @@ Failure classes:
 * ``determinism`` — the same scenario run twice produced different
   reports or metrics/trace digests;
 * ``scratch-twin`` — the incremental deployment and its
-  ``full_rebuild=True`` twin diverged.
+  ``full_rebuild=True`` twin diverged;
+* ``crash-twin`` — a crash-restart campaign converged to a different
+  final coverage / task outcome than its crash-free same-seed twin
+  (only checked when :attr:`Scenario.crash_twin_eligible`).
 
 Every run is instrumented with an enabled :class:`Telemetry` bundle so
 the determinism check covers the metrics registry and span trace, not
@@ -24,7 +27,7 @@ uninstrumented run too.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Tuple
 
 from ..obs import Telemetry
@@ -46,7 +49,8 @@ class CampaignResult:
 
     scenario: Scenario
     ok: bool
-    failure_kind: Optional[str] = None  # invariant | crash | determinism | scratch-twin
+    #: invariant | crash | determinism | scratch-twin | crash-twin
+    failure_kind: Optional[str] = None
     violation: Optional[Violation] = None
     crash: Optional[str] = None
     report: Optional[object] = None
@@ -132,6 +136,14 @@ def run_scenario(
             result.ok = False
             result.failure_kind = "scratch-twin"
             result.determinism_detail = detail
+            return result
+
+    if scenario.crash_twin_eligible:
+        detail = _crash_twin_diff(scenario, mutation, report)
+        if detail is not None:
+            result.ok = False
+            result.failure_kind = "crash-twin"
+            result.determinism_detail = detail
     return result
 
 
@@ -174,4 +186,38 @@ def _scratch_twin_diff(
     detail = diff_projections(report_projection(report), report_projection(twin))
     if detail is not None:
         return f"full_rebuild twin diverged: {detail}"
+    return None
+
+
+def _crash_twin_diff(
+    scenario: Scenario, mutation: Optional[str], report
+) -> Optional[str]:
+    """A recovered campaign must converge exactly like its crash-free twin.
+
+    The twin drops the crash schedule *and* persistence (so it is the
+    plain pre-durability deployment). Timing legitimately shifts by the
+    downtime, so only runs in which **both** campaigns declared the
+    venue covered are compared — and then the final coverage and task
+    outcomes must be identical: recovery restored exactly the state the
+    live backend had, or the campaigns would have diverged.
+    """
+    twin_scenario = replace(scenario, backend_crashes=(), persist=False)
+    try:
+        twin, _telemetry, _registry = _run_once(twin_scenario, mutation)
+    except Exception as exc:  # noqa: BLE001
+        return f"crash-free twin raised {type(exc).__name__}: {exc}"
+    if not (report.venue_covered and twin.venue_covered):
+        return None  # one horizon ended mid-campaign: timing, not state
+    diffs = [
+        f"{name}: crashed={getattr(report, name)} crash-free={getattr(twin, name)}"
+        for name in (
+            "coverage_cells",
+            "tasks_completed",
+            "tasks_failed",
+            "photos_uploaded",
+        )
+        if getattr(report, name) != getattr(twin, name)
+    ]
+    if diffs:
+        return "crash-restart campaign diverged from its crash-free twin: " + "; ".join(diffs)
     return None

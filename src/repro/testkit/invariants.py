@@ -87,6 +87,7 @@ class InvariantRegistry:
         "ledger-idempotency",
         "coverage-monotonicity",
         "admission-bound",
+        "recovery-idempotency",
     )
     #: Names of the checkpointed incremental-vs-oracle invariants.
     CHECKPOINT_INVARIANTS = (
@@ -104,11 +105,12 @@ class InvariantRegistry:
         self.checkpoints_run = 0
         self._deployment = None
         self._server = None
-        self._pipeline = None
         self._sim = None
         # incremental cursors
         self._seen_results = 0
-        self._seen_batch_ids: Dict[str, int] = {}  # batch_id -> result index
+        #: batch_id -> (result index, sim time first observed committed).
+        self._seen_batch_ids: Dict[str, "tuple[int, float]"] = {}
+        self._audits_seen = 0  # consumed prefix of host.recovery_audits
         self._service_cursor = 0  # consumed prefix of the FIFO audit log
         self._last_service_seq = 0
         self._last_raw_points = 0
@@ -126,7 +128,6 @@ class InvariantRegistry:
             raise RuntimeError("registry already attached")
         self._deployment = deployment
         self._server = deployment.server
-        self._pipeline = deployment.server.pipeline
         self._sim = deployment.simulator
         self._grid_cells = int(np.prod(self._pipeline.spec.shape))
         self._sim.add_probe(self._on_event)
@@ -135,7 +136,12 @@ class InvariantRegistry:
     def detach(self) -> None:
         if self._sim is not None:
             self._sim.remove_probe(self._on_event)
-        self._deployment = self._server = self._pipeline = self._sim = None
+        self._deployment = self._server = self._sim = None
+
+    @property
+    def _pipeline(self):
+        """The *current* pipeline — crash recovery replaces the instance."""
+        return self._server.pipeline if self._server is not None else None
 
     # ------------------------------------------------------------------
     # probe
@@ -147,6 +153,7 @@ class InvariantRegistry:
         new_batches = self._check_ledger_idempotency(token)
         self._check_coverage_monotonicity(token)
         self._check_admission_bound(token)
+        self._check_recovery_idempotency(token)
         if new_batches and self.oracle_checks:
             self._batches_since_checkpoint += new_batches
             if self._batches_since_checkpoint >= self.checkpoint_every:
@@ -238,12 +245,13 @@ class InvariantRegistry:
                     token,
                     "ledger-idempotency",
                     f"batch {bid!r} applied twice (results "
-                    f"#{self._seen_batch_ids[bid]} and #{index})",
+                    f"#{self._seen_batch_ids[bid][0]} and #{index})",
                 )
-            self._seen_batch_ids[bid] = index
+            self._seen_batch_ids[bid] = (index, self._sim.now)
         self._seen_results = len(results)
         store = self._server.store
-        for bid in self._seen_batch_ids:
+        retention = self._server.protocol.archive_retention_s
+        for bid, (_index, seen_t) in self._seen_batch_ids.items():
             if self._server.ledger_contains(bid):
                 if self._server.ledger_entry(bid) is None:
                     self._fail(
@@ -254,14 +262,20 @@ class InvariantRegistry:
                     )
             elif store.archived_batch(bid) is None:
                 # Eviction is legal only through the GC path, which
-                # archives the outcome first; an entry vanishing with no
-                # archive record means dedup protection is simply gone.
-                self._fail(
-                    token,
-                    "ledger-idempotency",
-                    f"ledger entry for completed batch {bid!r} vanished "
-                    f"without an archive record (replay would double-apply)",
-                )
+                # archives the outcome first; the archive itself expires
+                # ``archive_retention_s`` after eviction (eviction never
+                # precedes completion, so ``seen_t + retention`` bounds
+                # the earliest legal disappearance from below). Inside
+                # that horizon a vanished entry means dedup protection
+                # is simply gone.
+                if self._sim.now < seen_t + retention:
+                    self._fail(
+                        token,
+                        "ledger-idempotency",
+                        f"ledger entry for completed batch {bid!r} vanished "
+                        f"without an archive record inside the retention "
+                        f"horizon (replay would double-apply)",
+                    )
         return len(fresh)
 
     def _check_admission_bound(self, token) -> None:
@@ -300,6 +314,10 @@ class InvariantRegistry:
                 f"(lane is not work-conserving)",
             )
         order = server.sfm_service_order()
+        if self._service_cursor > len(order):
+            # A crash dropped in-flight (uncommitted) service entries; the
+            # recovered audit log is a checked prefix of what we saw live.
+            self._service_cursor = len(order)
         for seq in order[self._service_cursor:]:
             if seq <= self._last_service_seq:
                 self._fail(
@@ -360,6 +378,31 @@ class InvariantRegistry:
                 "venue_covered unlatched (True -> False)",
             )
         self._covered_latched = covered
+
+    def _check_recovery_idempotency(self, token) -> None:
+        """Every crash recovery must pass its double-restore digest audit.
+
+        With ``audit_recovery`` on (the default), each restart restores
+        the state twice from the same snapshot + WAL suffix and digests
+        both. A digest mismatch means recovery is not a pure function of
+        the durable media — replaying it again (or on another host)
+        would yield a different backend.
+        """
+        host = getattr(self._deployment, "host", None)
+        if host is None:
+            return
+        audits = host.recovery_audits
+        for result in audits[self._audits_seen:]:
+            if not result.audit_ok:
+                self._fail(
+                    token,
+                    "recovery-idempotency",
+                    f"recovery digest mismatch after restart (snapshot "
+                    f"#{result.snapshot_seq}, {result.replayed_records} "
+                    f"records replayed): {result.digest[:12]} != "
+                    f"{(result.audit_digest or '')[:12]}",
+                )
+        self._audits_seen = len(audits)
 
     # ------------------------------------------------------------------
     # checkpoint invariants (incremental vs from-scratch oracles)

@@ -49,6 +49,13 @@ class Scenario:
     duplicate_probability: float = 0.0
     jitter_s: float = 0.0
     disconnect_windows: Tuple[Tuple[float, float], ...] = ()
+    # -- backend durability / crash-restart schedule --
+    #: Seeded backend crashes: ((at_s, downtime_s), ...). Requires persist.
+    backend_crashes: Tuple[Tuple[float, float], ...] = ()
+    #: WAL + snapshot persistence on (exercised with or without crashes).
+    persist: bool = False
+    #: Snapshot cadence in committed photo batches.
+    snapshot_every: int = 8
     # -- protocol / batch-size parameters --
     lease_duration_s: float = 600.0
     rto_initial_s: float = 4.0
@@ -83,6 +90,8 @@ class Scenario:
         # Independent child: adding the backend axes never perturbs the
         # draws (and thus the scenarios) of the streams above.
         backend = rng.child("backend")
+        # Same trick again for the durability axes (PR-8).
+        crashes = rng.child("crashes")
 
         n_clients = crowd.integers(1, 5)
         dropouts: Tuple[Tuple[str, float], ...] = ()
@@ -112,6 +121,27 @@ class Scenario:
             round(backend.uniform(0.5, 4.0), 3) if backend.chance(0.3) else 0.0
         )
 
+        backend_crashes: Tuple[Tuple[float, float], ...] = ()
+        persist = False
+        snapshot_every = 8
+        if crashes.chance(0.25):
+            # Crash-restart campaign: persistence on, 1-2 seeded crashes.
+            persist = True
+            snapshot_every = int(crashes.choice([1, 2, 4, 8]))
+            n_crashes = crashes.integers(1, 3)
+            cursor = crashes.uniform(150.0, 1500.0)
+            acc = []
+            for _ in range(n_crashes):
+                downtime = round(crashes.uniform(10.0, 90.0), 3)
+                acc.append((round(cursor, 3), downtime))
+                cursor += downtime + crashes.uniform(500.0, 3000.0)
+            backend_crashes = tuple(acc)
+        elif crashes.chance(0.15):
+            # Persistence-on, zero-crash: the WAL/snapshot machinery must
+            # be behaviourally invisible (the differential pin, fuzzed).
+            persist = True
+            snapshot_every = int(crashes.choice([1, 2, 4, 8]))
+
         return cls(
             seed=seed,
             venue_seed=venue.integers(0, 2**31),
@@ -133,6 +163,9 @@ class Scenario:
             ),
             jitter_s=round(faults.uniform(0.1, 2.0), 3) if faults.chance(0.4) else 0.0,
             disconnect_windows=windows,
+            backend_crashes=backend_crashes,
+            persist=persist,
+            snapshot_every=snapshot_every,
             lease_duration_s=float(proto.choice([120.0, 300.0, 600.0])),
             rto_initial_s=float(proto.choice([2.0, 4.0])),
             upload_subbatch=int(proto.choice([15, 30, 45])),
@@ -170,6 +203,10 @@ class Scenario:
                 queue_limit=self.sfm_queue_limit,
             ),
         )
+        if self.persist or self.backend_crashes:
+            config = config.with_persistence(
+                snapshot_every_batches=self.snapshot_every
+            )
         return config.validate()
 
     def make_faults(self) -> Optional[FaultConfig]:
@@ -178,8 +215,9 @@ class Scenario:
             duplicate_probability=self.duplicate_probability,
             jitter_s=self.jitter_s,
             disconnect_windows=tuple(tuple(w) for w in self.disconnect_windows),
+            backend_crashes=tuple(tuple(c) for c in self.backend_crashes),
         )
-        return faults if faults.enabled else None
+        return faults if (faults.enabled or faults.backend_crashes) else None
 
     def make_bench(self):
         """A fresh workbench on this scenario's venue (never cached)."""
@@ -211,6 +249,57 @@ class Scenario:
         )
 
     # ------------------------------------------------------------------
+    # durability helpers
+    # ------------------------------------------------------------------
+
+    def with_crashes(self) -> "Scenario":
+        """Force a seeded crash schedule (``repro fuzz --crashes``).
+
+        Scenarios that already crash are returned unchanged; everything
+        else gets 1-2 crashes drawn from a dedicated stream of this
+        scenario's seed, so the forced schedule is as reproducible as a
+        sampled one.
+        """
+        if self.backend_crashes:
+            return self
+        rng = RngStream(self.seed, "testkit/forced-crashes")
+        n_crashes = rng.integers(1, 3)
+        cursor = rng.uniform(150.0, 1500.0)
+        acc = []
+        for _ in range(n_crashes):
+            downtime = round(rng.uniform(10.0, 90.0), 3)
+            acc.append((round(cursor, 3), downtime))
+            cursor += downtime + rng.uniform(500.0, 3000.0)
+        return replace(
+            self,
+            backend_crashes=tuple(acc),
+            persist=True,
+            snapshot_every=int(rng.choice([1, 2, 4, 8])),
+        )
+
+    @property
+    def crash_twin_eligible(self) -> bool:
+        """Whether the crash-free twin must converge identically.
+
+        Crash-restart recovery is behaviourally exact only when no
+        *other* nondeterministic timing interacts with the outage: a
+        lost in-flight message is retransmitted on a timer, shifting
+        every subsequent event. With a single client and no link faults
+        the retry timeline is itself deterministic and the recovered
+        campaign must reach the crash-free twin's converged state.
+        """
+        return bool(
+            self.backend_crashes
+            and self.n_clients == 1
+            and not self.drop_probability
+            and not self.duplicate_probability
+            and not self.jitter_s
+            and not self.disconnect_windows
+            and not self.dropouts
+            and not self.dropout_hazard
+        )
+
+    # ------------------------------------------------------------------
     # serialisation
     # ------------------------------------------------------------------
 
@@ -228,6 +317,9 @@ class Scenario:
         doc["dropouts"] = tuple((str(c), float(t)) for c, t in doc.get("dropouts", ()))
         doc["disconnect_windows"] = tuple(
             (float(a), float(b)) for a, b in doc.get("disconnect_windows", ())
+        )
+        doc["backend_crashes"] = tuple(
+            (float(a), float(b)) for a, b in doc.get("backend_crashes", ())
         )
         return cls(**doc)
 
@@ -253,6 +345,12 @@ class Scenario:
             fault_bits.append(f"max_tasks={self.max_tasks}")
         if self.poll_jitter_s:
             fault_bits.append(f"poll_jit={self.poll_jitter_s:.1f}s")
+        if self.backend_crashes:
+            fault_bits.append(
+                f"crashes x{len(self.backend_crashes)} snap={self.snapshot_every}"
+            )
+        elif self.persist:
+            fault_bits.append(f"persist snap={self.snapshot_every}")
         return (
             f"venue {self.venue_width_m:.0f}x{self.venue_depth_m:.0f}m "
             f"clients={self.n_clients} lease={self.lease_duration_s:.0f}s "

@@ -93,6 +93,25 @@ def _candidates(s: Scenario) -> List[Tuple[str, Scenario]]:
                 out.append(
                     (f"drop disconnect #{i}", replace(s, disconnect_windows=kept))
                 )
+    # -- durability: no crashes + no persistence is the biggest cut; a
+    #    persistence-only repro (crashes gone, WAL/snapshots still on)
+    #    separates recovery bugs from bookkeeping bugs --
+    if s.backend_crashes:
+        out.append(
+            (
+                "backend_crashes=() persist=False",
+                replace(s, backend_crashes=(), persist=False),
+            )
+        )
+        out.append(("backend_crashes=()", replace(s, backend_crashes=())))
+        if len(s.backend_crashes) > 1:
+            for i in range(len(s.backend_crashes)):
+                kept = s.backend_crashes[:i] + s.backend_crashes[i + 1:]
+                out.append((f"drop crash #{i}", replace(s, backend_crashes=kept)))
+    elif s.persist:
+        out.append(("persist=False", replace(s, persist=False)))
+    if (s.persist or s.backend_crashes) and s.snapshot_every != 8:
+        out.append(("snapshot_every=8", replace(s, snapshot_every=8)))
     # -- crowd size --
     if s.n_clients > 1:
         out.append(("n_clients=1", _clients_for(s, 1)))

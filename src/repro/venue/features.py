@@ -69,6 +69,11 @@ class FeatureWorld:
             [normal_by_surface[int(sid)] for sid in self._surface_ids], dtype=float
         ).reshape(n, 2)
 
+    def __deepcopy__(self, memo: dict) -> "FeatureWorld":
+        # Write-once after __init__: durability snapshots share the world
+        # (positions/normals arrays and feature tuple) structurally.
+        return self
+
     @property
     def venue(self) -> Venue:
         return self._venue

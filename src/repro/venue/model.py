@@ -80,6 +80,11 @@ class Venue:
             heights=[(s.base_z, s.top_z) for s in self._surfaces],
         )
 
+    def __deepcopy__(self, memo: dict) -> "Venue":
+        # Write-once after __init__: durability snapshots share the venue
+        # structurally instead of copying its geometry soups.
+        return self
+
     # -- identity and geometry --------------------------------------------
 
     @property

@@ -14,6 +14,14 @@ random`, `time.time()`/`perf_counter()`-style clock reads,
 `datetime.now()`/`utcnow()`, or direct `numpy.random` use anywhere
 else. An alias (``from time import perf_counter as pc``) is caught at
 the import, so call-site renaming cannot sneak past the lint.
+
+Ambient *filesystem* access is banned the same way: a simulation that
+reads or writes host files mid-run is coupled to machine state the
+seed does not control (and a crash-recovery replay could observe a
+file a previous run left behind). ``open()`` and the ``pathlib``
+read/write/mutate methods are confined to the declared I/O edges —
+the CLI, the exporters, artifact files, the durability media
+(``persist/``) and telemetry dumps (``obs/``).
 """
 
 from __future__ import annotations
@@ -29,6 +37,22 @@ ALLOWED = {
     "time": {"obs/wallclock.py"},
     "datetime-now": {"obs/wallclock.py"},
     "numpy-random": {"simkit/rng.py"},
+}
+
+#: The declared I/O edges: the only places allowed to touch the host
+#: filesystem. Everything else must stay a pure function of the seed.
+FS_ALLOWED_FILES = {"cli.py", "mapping/export.py", "testkit/artifact.py"}
+FS_ALLOWED_PREFIXES = ("persist/", "obs/")
+
+#: Method names that read or mutate the filesystem when called.
+FS_METHODS = {
+    "write_text",
+    "write_bytes",
+    "read_text",
+    "read_bytes",
+    "mkdir",
+    "unlink",
+    "rmdir",
 }
 
 #: ``time`` module members that read a clock (importing them is the offence).
@@ -48,9 +72,14 @@ CLOCK_MEMBERS = {
 def _module_findings(path: pathlib.Path, tree: ast.AST):
     rel = path.relative_to(SRC_ROOT).as_posix()
     findings = []
+    fs_allowed = rel in FS_ALLOWED_FILES or rel.startswith(FS_ALLOWED_PREFIXES)
 
     def offend(kind: str, node: ast.AST, what: str) -> None:
         if rel not in ALLOWED[kind]:
+            findings.append(f"{rel}:{node.lineno}: {what}")
+
+    def offend_fs(node: ast.AST, what: str) -> None:
+        if not fs_allowed:
             findings.append(f"{rel}:{node.lineno}: {what}")
 
     for node in ast.walk(tree):
@@ -79,6 +108,14 @@ def _module_findings(path: pathlib.Path, tree: ast.AST):
                         offend(
                             "numpy-random", node, f"imports numpy `{alias.name}`"
                         )
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name) and func.id == "open":
+                offend_fs(node, "calls builtin `open()` (ambient filesystem)")
+            elif isinstance(func, ast.Attribute) and func.attr in FS_METHODS:
+                offend_fs(
+                    node, f"filesystem access via `.{func.attr}()`"
+                )
         elif isinstance(node, ast.Attribute):
             # np.random.* / numpy.random.* access
             if node.attr == "random" and isinstance(node.value, ast.Name):
@@ -125,6 +162,8 @@ def test_lint_catches_a_planted_offence():
         "x = np.random.rand()\n"
         "import datetime\n"
         "t = datetime.datetime.now()\n"
+        "fh = open('sneaky.txt')\n"
+        "out.write_text('state')\n"
     )
     tree = ast.parse(bad)
     fake = SRC_ROOT / "core" / "planted.py"
@@ -134,3 +173,15 @@ def test_lint_catches_a_planted_offence():
     assert "clock(s) ['perf_counter']" in kinds
     assert "`numpy.random` directly" in kinds
     assert "datetime.now()" in kinds
+    assert "builtin `open()`" in kinds
+    assert ".write_text()" in kinds
+
+
+def test_filesystem_lint_respects_the_io_edges():
+    """The same I/O is legal at a declared edge (e.g. the WAL media)."""
+    code = "fh = open('wal.bin', 'wb')\npath.write_bytes(frame)\n"
+    tree = ast.parse(code)
+    for rel in ("persist/wal.py", "obs/export.py", "testkit/artifact.py", "cli.py"):
+        assert not _module_findings(SRC_ROOT / rel, tree), rel
+    offences = _module_findings(SRC_ROOT / "server" / "backend.py", tree)
+    assert len(offences) == 2
