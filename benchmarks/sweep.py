@@ -1,0 +1,49 @@
+"""Shared executor fan-out for parameter-sweep benchmarks.
+
+Sweep benchmarks (`test_bench_backend_overload`, `test_bench_fault_tolerance`,
+ablations) run one independent deployment per configuration point — the
+same embarrassing parallelism the fuzzer has, so they share the same
+pool: each sweep point becomes a ``library-deployment`` shard on the
+:mod:`repro.testkit.executor` and results come back in spec order as
+plain payload dicts (``report`` via ``dataclasses.asdict``, plus the
+task-ledger summary), byte-identical to an inline run.
+
+``REPRO_BENCH_JOBS`` overrides the worker count (int or ``auto``;
+default auto). ``jobs=1`` — e.g. a single-core CI runner — degrades to
+the executor's inline path with no processes spawned.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Optional, Sequence
+
+from repro.testkit.executor import ExecutorStats, run_shards
+
+
+def bench_jobs(default: str = "auto") -> str:
+    """The benchmark worker count: ``REPRO_BENCH_JOBS`` or ``default``."""
+    return os.environ.get("REPRO_BENCH_JOBS", default)
+
+
+def run_deployment_sweep(
+    specs: Sequence[dict],
+    jobs=None,
+    stats: Optional[ExecutorStats] = None,
+) -> List[dict]:
+    """Run ``library-deployment`` specs on the pool; payloads in spec order.
+
+    A failed shard raises — a sweep with holes would silently skew the
+    benchmark's summary statistics.
+    """
+    if jobs is None:
+        jobs = bench_jobs()
+    payloads: List[dict] = []
+    for envelope in run_shards("library-deployment", list(specs), jobs=jobs, stats=stats):
+        if not envelope["ok"]:
+            raise RuntimeError(
+                f"sweep shard {envelope['index']} failed: "
+                f"{envelope.get('error', 'unknown')}"
+            )
+        payloads.append(envelope["payload"])
+    return payloads

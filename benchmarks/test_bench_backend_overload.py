@@ -8,6 +8,12 @@ stream) and measures what finite capacity costs: queue wait folded into
 batch completion, shed uploads, client backpressure retries, and the
 campaign outcome.
 
+The four lane shapes are independent deployments, so they fan out
+across the executor pool (``benchmarks/sweep.py``); a checkpoint-copy
+microbench on a real exported state graph records what the structured
+fast copy (``persist/fastcopy.py``) saves per snapshot versus
+``copy.deepcopy``.
+
 Rows encode the lane shape with ``workers=0`` for the infinite-server
 model and ``queue_limit=-1`` for an unbounded admission queue (JSON has
 no ``None``). Results land in ``overload_backend.txt`` (human-readable)
@@ -17,15 +23,19 @@ Smoke mode (``REPRO_BENCH_SMOKE=1``, used by CI): a shorter horizon,
 same sweep, same artefacts.
 """
 
+import copy
 import os
-from dataclasses import replace
 
-from repro.config import BackendConfig, paper_config
+from repro.config import paper_config
 from repro.eval import Workbench
 from repro.obs.bench import write_bench_backend
+from repro.obs.wallclock import wall_now_s
+from repro.persist.fastcopy import fast_deepcopy
+from repro.persist.snapshot import structural_size
 from repro.server import Deployment
 
 from .conftest import write_result
+from .sweep import run_deployment_sweep
 
 SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
 
@@ -36,41 +46,74 @@ MAX_TASKS = 3  # parallel task stream: several clients upload concurrently
 #: (sfm_workers, queue_limit) lane shapes; None/None is today's model.
 SWEEP = ((None, None), (2, None), (1, None), (1, 0))
 
-
-def run_campaign(workers, queue_limit):
-    config = paper_config()
-    config = replace(
-        config,
-        tasks=replace(config.tasks, max_tasks=MAX_TASKS),
-        backend=BackendConfig(sfm_workers=workers, queue_limit=queue_limit),
-    )
-    bench = Workbench.for_library(config)
-    deployment = Deployment(bench, n_clients=N_CLIENTS)
-    return deployment.run(until_s=SIM_HORIZON_S, max_events=500_000)
+CHECKPOINT_REPS = 3 if SMOKE else 10
 
 
 def _row(workers, queue_limit, report):
     return {
         "workers": 0 if workers is None else workers,
         "queue_limit": -1 if queue_limit is None else queue_limit,
-        "sim_time_s": round(report.sim_time_s, 3),
-        "tasks_completed": report.tasks_completed,
-        "photos_uploaded": report.photos_uploaded,
-        "batches_shed": report.batches_shed,
-        "client_backpressure": report.client_backpressure,
-        "queue_wait_s": round(report.sfm_queue_wait_s, 6),
-        "peak_queue_depth": report.sfm_peak_queue_depth,
-        "service_time_s": round(report.sfm_service_time_s, 6),
+        "sim_time_s": round(report["sim_time_s"], 3),
+        "tasks_completed": report["tasks_completed"],
+        "photos_uploaded": report["photos_uploaded"],
+        "batches_shed": report["batches_shed"],
+        "client_backpressure": report["client_backpressure"],
+        "queue_wait_s": round(report["sfm_queue_wait_s"], 6),
+        "peak_queue_depth": report["sfm_peak_queue_depth"],
+        "service_time_s": round(report["sfm_service_time_s"], 6),
     }
 
 
+def _checkpoint_copy_times():
+    """Time one real checkpoint copy: fast_deepcopy vs copy.deepcopy.
+
+    Uses the state graph a crowded deployment actually exports (the same
+    object the Snapshotter copies), so the datapoint measures the copy
+    the durability lane pays on every snapshot cadence.
+    """
+    deployment = Deployment(
+        Workbench.for_library(paper_config()), n_clients=N_CLIENTS
+    )
+    deployment.run(until_s=SIM_HORIZON_S / 2, max_events=250_000)
+    server = deployment.server
+    with server.pipeline.compact_history():
+        state = server.export_state()
+        t0 = wall_now_s()
+        for _ in range(CHECKPOINT_REPS):
+            slow = copy.deepcopy(state)
+        deepcopy_s = (wall_now_s() - t0) / CHECKPOINT_REPS
+        t0 = wall_now_s()
+        for _ in range(CHECKPOINT_REPS):
+            fast = fast_deepcopy(state)
+        fastcopy_s = (wall_now_s() - t0) / CHECKPOINT_REPS
+    # Both copies must capture the same logical state.
+    assert structural_size(fast) == structural_size(slow) == structural_size(state)
+    return deepcopy_s, fastcopy_s
+
+
 def test_bench_backend_overload_sweep(benchmark, results_dir):
+    specs = [
+        {
+            "n_clients": N_CLIENTS,
+            "max_tasks": MAX_TASKS,
+            "sfm_workers": workers,
+            "sfm_queue_limit": queue_limit,
+            "until_s": SIM_HORIZON_S,
+            "max_events": 500_000,
+        }
+        for workers, queue_limit in SWEEP
+    ]
+
     def sweep():
+        payloads = run_deployment_sweep(specs)
         return {
-            shape: run_campaign(*shape) for shape in SWEEP
+            shape: payload["report"]
+            for shape, payload in zip(SWEEP, payloads)
         }
 
     results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    deepcopy_s, fastcopy_s = _checkpoint_copy_times()
+    copy_speedup = deepcopy_s / fastcopy_s if fastcopy_s > 0 else 1.0
 
     baseline = results[(None, None)]
     lines = [
@@ -86,10 +129,10 @@ def test_bench_backend_overload_sweep(benchmark, results_dir):
         w = "inf" if workers is None else str(workers)
         q = "inf" if queue_limit is None else str(queue_limit)
         lines.append(
-            f"{w:>7} {q:>6} {report.tasks_completed:>6} "
-            f"{report.photos_uploaded:>7} {report.batches_shed:>5} "
-            f"{report.client_backpressure:>7} {report.sfm_queue_wait_s:>9.2f} "
-            f"{report.sfm_peak_queue_depth:>7}"
+            f"{w:>7} {q:>6} {report['tasks_completed']:>6} "
+            f"{report['photos_uploaded']:>7} {report['batches_shed']:>5} "
+            f"{report['client_backpressure']:>7} {report['sfm_queue_wait_s']:>9.2f} "
+            f"{report['sfm_peak_queue_depth']:>7}"
         )
         rows.append(_row(workers, queue_limit, report))
     lines.append("")
@@ -99,15 +142,24 @@ def test_bench_backend_overload_sweep(benchmark, results_dir):
         "the clients absorb with retry_after backoff — the campaign keeps "
         "converging either way."
     )
+    lines.append("")
+    lines.append(
+        f"checkpoint copy of one exported state graph "
+        f"({CHECKPOINT_REPS} reps): copy.deepcopy {deepcopy_s * 1e3:.2f} ms, "
+        f"fast_deepcopy {fastcopy_s * 1e3:.2f} ms ({copy_speedup:.2f}x)"
+    )
     write_result(results_dir, "overload_backend", "\n".join(lines))
 
     summary = {
         "rows": len(rows),
-        "baseline_tasks_completed": baseline.tasks_completed,
+        "baseline_tasks_completed": baseline["tasks_completed"],
         "max_queue_wait_s": round(
-            max(r.sfm_queue_wait_s for r in results.values()), 6
+            max(r["sfm_queue_wait_s"] for r in results.values()), 6
         ),
-        "total_shed": sum(r.batches_shed for r in results.values()),
+        "total_shed": sum(r["batches_shed"] for r in results.values()),
+        "checkpoint_deepcopy_ms": round(deepcopy_s * 1e3, 3),
+        "checkpoint_fastcopy_ms": round(fastcopy_s * 1e3, 3),
+        "checkpoint_copy_speedup": round(copy_speedup, 3),
     }
     write_bench_backend(
         results_dir / "BENCH_backend.json",
@@ -122,22 +174,28 @@ def test_bench_backend_overload_sweep(benchmark, results_dir):
     )
 
     # The infinite-server model never queues, waits, or sheds.
-    assert baseline.batches_shed == 0
-    assert baseline.client_backpressure == 0
-    assert baseline.sfm_queue_wait_s == 0.0
-    assert baseline.sfm_peak_queue_depth == 0
+    assert baseline["batches_shed"] == 0
+    assert baseline["client_backpressure"] == 0
+    assert baseline["sfm_queue_wait_s"] == 0.0
+    assert baseline["sfm_peak_queue_depth"] == 0
 
     # A single worker with an unbounded queue makes batches actually wait.
     squeezed = results[(1, None)]
-    assert squeezed.sfm_queue_wait_s > 0.0
-    assert squeezed.sfm_peak_queue_depth >= 1
-    assert squeezed.batches_shed == 0  # unbounded queue never sheds
+    assert squeezed["sfm_queue_wait_s"] > 0.0
+    assert squeezed["sfm_peak_queue_depth"] >= 1
+    assert squeezed["batches_shed"] == 0  # unbounded queue never sheds
 
     # A zero-length admission queue sheds instead of queueing; clients
     # honor retry_after and the campaign still makes progress.
     shedding = results[(1, 0)]
-    assert shedding.batches_shed > 0
-    assert shedding.client_backpressure > 0
-    assert shedding.sfm_peak_queue_depth == 0
+    assert shedding["batches_shed"] > 0
+    assert shedding["client_backpressure"] > 0
+    assert shedding["sfm_peak_queue_depth"] == 0
     for report in results.values():
-        assert report.tasks_completed > 0
+        assert report["tasks_completed"] > 0
+
+    # The structured copy must not be slower than the protocol-discovery
+    # path it replaced (asserted only on full runs: smoke reps are too
+    # few to be stable).
+    if not SMOKE:
+        assert copy_speedup > 1.0, (deepcopy_s, fastcopy_s)

@@ -201,6 +201,7 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         artifact_dir=args.artifacts,
         max_failures=args.max_failures,
         progress=print,
+        jobs=args.jobs,
     )
     ran = summary.passed + len(summary.failures)
     print(
@@ -239,63 +240,81 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
 
 
 def cmd_recover(args: argparse.Namespace) -> int:
-    from dataclasses import replace
+    from .testkit.executor import EXECUTOR_TASKS, resolve_jobs, run_shards
 
-    from .eval import Workbench
-    from .server import Deployment
+    # Both legs — the crashed run and its crash-free twin — are computed
+    # first (inline, or concurrently on the executor pool with --jobs 2)
+    # and printed from their payload dicts afterwards, so the output is
+    # byte-identical regardless of --jobs.
+    specs = [
+        {
+            "crashed": True,
+            "seed": args.seed,
+            "snapshot_every": args.snapshot_every,
+            "crash_at": args.crash_at,
+            "downtime": args.downtime,
+            "clients": args.clients,
+            "until": args.until,
+        },
+        {
+            "crashed": False,
+            "seed": args.seed,
+            "clients": args.clients,
+            "until": args.until,
+        },
+    ]
+    if resolve_jobs(args.jobs) >= 2:
+        envelopes = list(run_shards("recover-run", specs, jobs=2))
+        failed = [env for env in envelopes if not env["ok"]]
+        if failed:
+            print(f"recover worker failed: {failed[0].get('error', 'unknown')}")
+            return 2
+        crashed, twin = (env["payload"] for env in envelopes)
+    else:
+        run = EXECUTOR_TASKS["recover-run"]
+        crashed, twin = run(specs[0]), run(specs[1])
 
-    config = paper_config(seed=args.seed).with_persistence(
-        snapshot_every_batches=args.snapshot_every
-    )
-    faults = replace(
-        config.network.faults,
-        backend_crashes=((args.crash_at, args.downtime),),
-    )
-    bench = Workbench.for_library(config)
-    deployment = Deployment(bench, n_clients=args.clients, faults=faults)
-    report = deployment.run(until_s=args.until)
-    host = deployment.host
+    report = crashed["report"]
     print(
-        f"crashed run: covered={report.venue_covered} "
-        f"sim_time={report.sim_time_s:.0f} s"
+        f"crashed run: covered={report['venue_covered']} "
+        f"sim_time={report['sim_time_s']:.0f} s"
     )
     print(
-        f"  crashes: {report.backend_crashes}  recoveries: {report.backend_recoveries}  "
-        f"wal records: {report.wal_records}  snapshots: {report.snapshots_taken}"
+        f"  crashes: {report['backend_crashes']}  recoveries: {report['backend_recoveries']}  "
+        f"wal records: {report['wal_records']}  snapshots: {report['snapshots_taken']}"
     )
     audits_ok = True
-    for i, rec in enumerate(host.recovery_audits):
-        ok = rec.audit_ok
+    for i, rec in enumerate(crashed["audits"]):
+        ok = rec["audit_ok"]
         audits_ok = audits_ok and ok
         print(
-            f"  recovery #{i}: snapshot seq {rec.snapshot_seq}, "
-            f"replayed {rec.replayed_records} records, "
-            f"dropped {rec.dropped_remnants} remnants, "
-            f"re-armed {rec.armed_leases} leases, "
+            f"  recovery #{i}: snapshot seq {rec['snapshot_seq']}, "
+            f"replayed {rec['replayed_records']} records, "
+            f"dropped {rec['dropped_remnants']} remnants, "
+            f"re-armed {rec['armed_leases']} leases, "
             f"audit {'ok' if ok else 'MISMATCH'}"
         )
 
     # The crash-free twin: same seed, no crash, persistence off — the
     # plain pre-durability deployment recovery must converge to exactly.
-    twin_bench = _make_bench(args.seed)
-    twin = Deployment(twin_bench, n_clients=args.clients).run(until_s=args.until)
-    print(f"crash-free twin: covered={twin.venue_covered}")
-    if not (report.venue_covered and twin.venue_covered):
+    twin_report = twin["report"]
+    print(f"crash-free twin: covered={twin_report['venue_covered']}")
+    if not (report["venue_covered"] and twin_report["venue_covered"]):
         print("one run ended mid-campaign; raise --until to compare converged state")
         return 0 if audits_ok else 1
     diffs = [
-        f"  {name}: crashed={getattr(report, name)} crash-free={getattr(twin, name)}"
+        f"  {name}: crashed={report[name]} crash-free={twin_report[name]}"
         for name in ("coverage_cells", "tasks_completed", "tasks_failed", "photos_uploaded")
-        if getattr(report, name) != getattr(twin, name)
+        if report[name] != twin_report[name]
     ]
     if diffs:
         print("DIVERGED from the crash-free twin:")
         print("\n".join(diffs))
         return 1
     print(
-        f"converged identically: coverage_cells={report.coverage_cells} "
-        f"tasks_completed={report.tasks_completed} "
-        f"photos_uploaded={report.photos_uploaded}"
+        f"converged identically: coverage_cells={report['coverage_cells']} "
+        f"tasks_completed={report['tasks_completed']} "
+        f"photos_uploaded={report['photos_uploaded']}"
     )
     return 0 if audits_ok else 1
 
@@ -368,6 +387,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_fuzz.add_argument("--max-failures", type=int, default=3)
     p_fuzz.add_argument("--no-shrink", action="store_true")
     p_fuzz.add_argument("--no-determinism", action="store_true")
+    p_fuzz.add_argument(
+        "--jobs",
+        default="1",
+        help="parallel campaign workers (int or 'auto'); output is "
+        "byte-identical to --jobs 1",
+    )
 
     p_recover = sub.add_parser(
         "recover", help="crash + recover the backend; diff vs the crash-free twin"
@@ -382,6 +407,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_recover.add_argument(
         "--snapshot-every", type=int, default=8, help="checkpoint every N batches"
+    )
+    p_recover.add_argument(
+        "--jobs",
+        default="1",
+        help="run the crashed leg and its twin concurrently (2 or 'auto')",
     )
     return parser
 

@@ -338,3 +338,127 @@ def load_and_validate_backend(path: PathLike) -> dict:
     doc = json.loads(pathlib.Path(path).read_text())
     assert_valid_bench_backend(doc)
     return doc
+
+
+# ---------------------------------------------------------------------------
+# BENCH_dst.json — parallel campaign-executor speedup (serial vs --jobs N)
+# ---------------------------------------------------------------------------
+
+BENCH_DST_SCHEMA = "repro.bench.dst/v1"
+
+#: One row per executor run (``mode`` is "serial" or "parallel").
+_DST_RUN_FIELDS = (
+    "jobs",
+    "wall_s",
+    "campaigns",
+    "passed",
+    "failed",
+    "checks_run",
+)
+
+_DST_SUMMARY_FIELDS = (
+    "campaigns",
+    "jobs",
+    "cpu_count",
+    "serial_wall_s",
+    "parallel_wall_s",
+    "wall_speedup",
+    "total_busy_s",
+    "critical_path_s",
+    "critical_path_speedup",
+    "target_speedup",
+)
+
+
+def bench_dst_document(
+    runs: List[dict], summary: dict, campaign: Optional[dict] = None
+) -> dict:
+    """Build the ``BENCH_dst.json`` document (see ``validate_bench_dst``).
+
+    ``summary.wall_speedup`` is the *measured* serial/parallel wall
+    ratio on the generating host; ``summary.critical_path_speedup``
+    (total worker busy seconds / slowest worker lane) is the speedup the
+    sharding achieves independent of how many physical cores that host
+    had — the two coincide on an unloaded machine with >= ``jobs``
+    cores. ``summary.cpu_count`` records which regime the document was
+    generated under; ``summary.byte_identical`` asserts the serial and
+    parallel runs produced identical summaries.
+    """
+    return {
+        "schema": BENCH_DST_SCHEMA,
+        "generated_at": utc_now_iso(),
+        "campaign": dict(campaign or {}),
+        "runs": [dict(row) for row in runs],
+        "summary": dict(summary),
+    }
+
+
+def write_bench_dst(
+    path: PathLike,
+    runs: List[dict],
+    summary: dict,
+    campaign: Optional[dict] = None,
+) -> pathlib.Path:
+    doc = bench_dst_document(runs, summary, campaign)
+    assert_valid_bench_dst(doc)
+    path = pathlib.Path(path)
+    path.write_text(json.dumps(doc, indent=2) + "\n")
+    return path
+
+
+def validate_bench_dst(doc) -> List[str]:
+    """Return a list of schema violations (empty == valid)."""
+    problems: List[str] = []
+    if not isinstance(doc, dict):
+        return ["document is not an object"]
+    if doc.get("schema") != BENCH_DST_SCHEMA:
+        problems.append(
+            f"schema is {doc.get('schema')!r}, expected {BENCH_DST_SCHEMA!r}"
+        )
+    if not isinstance(doc.get("generated_at"), str):
+        problems.append("generated_at missing or not a string")
+    if not isinstance(doc.get("campaign"), dict):
+        problems.append("campaign missing or not an object")
+    runs = doc.get("runs")
+    if not isinstance(runs, list) or not runs:
+        problems.append("runs missing, not a list, or empty")
+    else:
+        for i, row in enumerate(runs):
+            if not isinstance(row, dict):
+                problems.append(f"runs[{i}] is not an object")
+                continue
+            if row.get("mode") not in ("serial", "parallel"):
+                problems.append(f"runs[{i}] mode must be 'serial' or 'parallel'")
+            for field in _DST_RUN_FIELDS:
+                value = row.get(field)
+                if not isinstance(value, (int, float)) or isinstance(value, bool):
+                    problems.append(f"runs[{i}] field {field!r} not numeric")
+    summary = doc.get("summary")
+    if not isinstance(summary, dict):
+        problems.append("summary missing or not an object")
+    else:
+        for field in _DST_SUMMARY_FIELDS:
+            value = summary.get(field)
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                problems.append(f"summary field {field!r} not numeric")
+        if not isinstance(summary.get("byte_identical"), bool):
+            problems.append("summary field 'byte_identical' not a bool")
+        speedup = summary.get("wall_speedup")
+        if isinstance(speedup, (int, float)) and speedup <= 0:
+            problems.append("summary wall_speedup must be positive")
+    return problems
+
+
+def assert_valid_bench_dst(doc) -> None:
+    problems = validate_bench_dst(doc)
+    if problems:
+        raise ObservabilityError(
+            "invalid BENCH_dst document: " + "; ".join(problems[:10])
+        )
+
+
+def load_and_validate_dst(path: PathLike) -> dict:
+    """CI helper: load ``path``, validate as BENCH_dst, return the document."""
+    doc = json.loads(pathlib.Path(path).read_text())
+    assert_valid_bench_dst(doc)
+    return doc

@@ -62,6 +62,13 @@ class Counter:
     def snapshot(self) -> dict:
         return {"type": "counter", "value": self.value}
 
+    def dump_state(self) -> dict:
+        return {"type": "counter", "value": self.value}
+
+    def merge_state(self, state: dict) -> None:
+        """Counters merge by summation."""
+        self.value += state["value"]
+
 
 class Gauge:
     """Last-set value with a high-watermark (queue depths, cache sizes)."""
@@ -89,6 +96,20 @@ class Gauge:
 
     def snapshot(self) -> dict:
         return {"type": "gauge", "value": self.value, "max": self.max_value}
+
+    def dump_state(self) -> dict:
+        return {"type": "gauge", "value": self.value, "max": self.max_value}
+
+    def merge_state(self, state: dict) -> None:
+        """Gauges merge last-by-index: the incoming value wins, peaks max.
+
+        The executor merges worker states in campaign-index order, so
+        "incoming wins" reproduces exactly the value a serial run would
+        have left behind after the same final campaign.
+        """
+        self.value = state["value"]
+        if state["max"] > self.max_value:
+            self.max_value = state["max"]
 
 
 class Histogram:
@@ -219,6 +240,45 @@ class Histogram:
             ],
         }
 
+    def dump_state(self) -> dict:
+        """Loss-free, JSON-able state (raw bucket indices + config)."""
+        return {
+            "type": "histogram",
+            "base": self.base,
+            "growth": self.growth,
+            "max_buckets": self.max_buckets,
+            "count": self.count,
+            "sum": self.total,
+            "zeros": self.zeros,
+            "min": self.min,
+            "max": self.max,
+            "counts": {str(k): n for k, n in self._counts.items()},
+        }
+
+    def merge_state(self, state: dict) -> None:
+        """Histograms merge bucket-wise; configs must agree exactly."""
+        if (
+            state["base"] != self.base
+            or state["growth"] != self.growth
+            or state["max_buckets"] != self.max_buckets
+        ):
+            raise ObservabilityError(
+                f"histogram {self.name!r}: cannot merge state with bucket "
+                f"config base={state['base']} growth={state['growth']} "
+                f"max_buckets={state['max_buckets']} (have base={self.base} "
+                f"growth={self.growth} max_buckets={self.max_buckets})"
+            )
+        self.count += state["count"]
+        self.total += state["sum"]
+        self.zeros += state["zeros"]
+        if state["min"] is not None and (self.min is None or state["min"] < self.min):
+            self.min = state["min"]
+        if state["max"] is not None and (self.max is None or state["max"] > self.max):
+            self.max = state["max"]
+        for key, n in state["counts"].items():
+            idx = int(key)
+            self._counts[idx] = self._counts.get(idx, 0) + n
+
 
 class MetricsRegistry:
     """Get-or-create registry of named instruments.
@@ -278,6 +338,54 @@ class MetricsRegistry:
             name: self._instruments[name].snapshot()
             for name in sorted(self._instruments)
         }
+
+    def dump(self) -> Dict[str, dict]:
+        """Loss-free, JSON-able state of every instrument (for merging).
+
+        Unlike :meth:`snapshot` (a reporting view with derived quantiles),
+        the dump carries the raw histogram bucket indices and configs so a
+        peer registry can merge it exactly — this is the envelope a
+        process-pool worker ships back to the parent.
+        """
+        return {
+            name: self._instruments[name].dump_state()
+            for name in sorted(self._instruments)
+        }
+
+    _MERGE_CLASSES = None  # filled in after the class definitions below
+
+    def merge(self, other: "Union[MetricsRegistry, Dict[str, dict]]") -> None:
+        """Merge another registry (or its :meth:`dump`) into this one.
+
+        Semantics per instrument type: counters sum, gauges take the
+        incoming value (last-by-index — callers merge in shard order)
+        with peak max, histograms add bucket-wise. Instruments missing
+        on either side are created / left untouched; a name registered
+        as a different type on the two sides is an error.
+        """
+        states = other.dump() if hasattr(other, "dump") else other
+        for name in sorted(states):
+            state = states[name]
+            kind = state.get("type")
+            cls_and_args = self._MERGE_CLASSES.get(kind)
+            if cls_and_args is None:
+                raise ObservabilityError(
+                    f"cannot merge instrument {name!r} of unknown type {kind!r}"
+                )
+            cls, extract = cls_and_args
+            instrument = self._get(name, cls, *extract(state))
+            instrument.merge_state(state)
+
+
+#: type tag -> (instrument class, state -> constructor args past the name).
+MetricsRegistry._MERGE_CLASSES = {
+    "counter": (Counter, lambda state: ()),
+    "gauge": (Gauge, lambda state: ()),
+    "histogram": (
+        Histogram,
+        lambda state: (state["base"], state["growth"], state["max_buckets"]),
+    ),
+}
 
 
 # -- disabled fast path --------------------------------------------------------
@@ -380,6 +488,12 @@ class NullRegistry:
 
     def snapshot(self) -> Dict[str, dict]:
         return {}
+
+    def dump(self) -> Dict[str, dict]:
+        return {}
+
+    def merge(self, other) -> None:
+        pass
 
 
 NULL_REGISTRY = NullRegistry()

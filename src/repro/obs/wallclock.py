@@ -25,6 +25,18 @@ def wall_now_s() -> float:
     return time.perf_counter()
 
 
+def cpu_now_s() -> float:
+    """Process CPU time in seconds (observability only).
+
+    Unlike :func:`wall_now_s`, this is immune to host contention: N
+    processes timesharing one core each still accumulate only their own
+    CPU seconds. The parallel executor uses it to account per-worker
+    shard work, so ``BENCH_dst.json``'s critical-path speedup measures
+    the sharding itself rather than the measuring host's core count.
+    """
+    return time.process_time()
+
+
 def utc_now_iso() -> str:
     """Wall-clock UTC timestamp for report/benchmark provenance fields."""
     return datetime.datetime.now(datetime.timezone.utc).isoformat()

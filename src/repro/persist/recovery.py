@@ -22,7 +22,6 @@ the equivalence invariant.
 
 from __future__ import annotations
 
-import copy
 from dataclasses import dataclass
 from typing import Optional
 
@@ -30,6 +29,7 @@ from ..errors import PersistenceError
 from ..obs.metrics import NULL_REGISTRY
 from ..obs.wallclock import wall_now_s
 from .digest import state_digest
+from .fastcopy import fast_deepcopy
 
 __all__ = ["RecoveryManager", "RecoveryResult"]
 
@@ -97,7 +97,7 @@ class RecoveryManager:
         """Steps 1–4: fresh server, installed image, replayed suffix."""
         from ..server.backend import BackendServer  # lazy: avoids import cycle
 
-        state = copy.deepcopy(self._snapshot.state)
+        state = fast_deepcopy(self._snapshot.state)
         server = BackendServer(
             pipeline=state["_pipeline"],
             simulator=simulator,

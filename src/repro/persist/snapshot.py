@@ -1,10 +1,11 @@
 """Checkpointing: periodic deep-copy snapshots of backend state.
 
-A checkpoint is one :func:`copy.deepcopy` of the backend's
-``export_state()`` dict — a single memo pass, so objects shared inside
-the live graph (e.g. a Task sitting in both the dispatch queue and the
-store ledger) stay shared in the copy. The copy is cheap by
-construction: the heavyweight leaves all opt out structurally —
+A checkpoint is one :func:`~.fastcopy.fast_deepcopy` of the backend's
+``export_state()`` dict — a single memo pass with deepcopy semantics,
+so objects shared inside the live graph (e.g. a Task sitting in both
+the dispatch queue and the store ledger) stay shared in the copy. The
+copy is cheap by construction: the heavyweight leaves all opt out
+structurally —
 
 * telemetry instruments and the tracer copy as themselves (live
   process-lifetime handles, see ``obs.metrics`` / ``obs.tracing``),
@@ -21,12 +22,12 @@ past its ``wal_position``.
 
 from __future__ import annotations
 
-import copy
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from ..obs.metrics import NULL_REGISTRY
 from ..obs.wallclock import wall_now_s
+from .fastcopy import fast_deepcopy
 
 __all__ = ["Snapshot", "Snapshotter"]
 
@@ -99,7 +100,7 @@ class Snapshotter:
         """Capture one snapshot of ``server`` at the current WAL position."""
         t0 = wall_now_s()
         with server.pipeline.compact_history():
-            state = copy.deepcopy(server.export_state())
+            state = fast_deepcopy(server.export_state())
         snapshot = Snapshot(
             seq=len(self._snapshots),
             sim_time=sim_time,

@@ -21,10 +21,13 @@ simulation, an entire crowd-mapping deployment is a pure function of
 * :mod:`~repro.testkit.mutations` — planted bugs that prove the
   invariants actually catch what they claim to catch;
 * :mod:`~repro.testkit.fuzzer` — the campaign loop behind
-  ``python -m repro fuzz``.
+  ``python -m repro fuzz``;
+* :mod:`~repro.testkit.executor` — the seed-sharded process pool behind
+  ``--jobs N`` (byte-identical merge in campaign-index order).
 """
 
 from .artifact import load_artifact, replay_artifact, write_artifact
+from .executor import ExecutorStats, resolve_jobs, run_shards
 from .fuzzer import FuzzSummary, run_fuzz
 from .harness import CampaignResult, run_scenario
 from .invariants import InvariantRegistry, InvariantViolationError, Violation
@@ -34,6 +37,7 @@ from .shrink import shrink_scenario
 
 __all__ = [
     "CampaignResult",
+    "ExecutorStats",
     "FuzzSummary",
     "InvariantRegistry",
     "InvariantViolationError",
@@ -45,8 +49,10 @@ __all__ = [
     "mutation_probe",
     "overload_probe",
     "replay_artifact",
+    "resolve_jobs",
     "run_fuzz",
     "run_scenario",
+    "run_shards",
     "shrink_scenario",
     "write_artifact",
 ]

@@ -37,6 +37,10 @@ ALLOWED = {
     "time": {"obs/wallclock.py"},
     "datetime-now": {"obs/wallclock.py"},
     "numpy-random": {"simkit/rng.py"},
+    # Host parallelism: worker scheduling is OS-timing-dependent, so
+    # process/thread pools are confined to the one module built to merge
+    # results back deterministically (in campaign-index order).
+    "parallelism": {"testkit/executor.py"},
 }
 
 #: The declared I/O edges: the only places allowed to touch the host
@@ -90,10 +94,22 @@ def _module_findings(path: pathlib.Path, tree: ast.AST):
                     offend("random", node, "imports stdlib `random`")
                 elif root == "time":
                     offend("time", node, "imports `time` (wall clock)")
+                elif root in ("multiprocessing", "concurrent", "threading"):
+                    offend(
+                        "parallelism",
+                        node,
+                        f"imports `{root}` (ambient parallelism)",
+                    )
         elif isinstance(node, ast.ImportFrom):
             root = (node.module or "").split(".")[0]
             if root == "random":
                 offend("random", node, "imports from stdlib `random`")
+            elif root in ("multiprocessing", "concurrent", "threading"):
+                offend(
+                    "parallelism",
+                    node,
+                    f"imports from `{root}` (ambient parallelism)",
+                )
             elif root == "time":
                 names = {alias.name for alias in node.names}
                 clocks = sorted(names & CLOCK_MEMBERS)
@@ -121,6 +137,14 @@ def _module_findings(path: pathlib.Path, tree: ast.AST):
             if node.attr == "random" and isinstance(node.value, ast.Name):
                 if node.value.id in ("np", "numpy"):
                     offend("numpy-random", node, "uses `numpy.random` directly")
+            # os.fork() — process creation outside the executor.
+            if node.attr in ("fork", "forkpty") and isinstance(
+                node.value, ast.Name
+            ):
+                if node.value.id == "os":
+                    offend(
+                        "parallelism", node, f"forks via `os.{node.attr}`"
+                    )
             # datetime.now() / utcnow() — a wall-clock read even without
             # importing `time`.
             if node.attr in ("now", "utcnow", "today"):
@@ -164,6 +188,10 @@ def test_lint_catches_a_planted_offence():
         "t = datetime.datetime.now()\n"
         "fh = open('sneaky.txt')\n"
         "out.write_text('state')\n"
+        "import multiprocessing\n"
+        "from concurrent.futures import ProcessPoolExecutor\n"
+        "import os\n"
+        "pid = os.fork()\n"
     )
     tree = ast.parse(bad)
     fake = SRC_ROOT / "core" / "planted.py"
@@ -175,6 +203,21 @@ def test_lint_catches_a_planted_offence():
     assert "datetime.now()" in kinds
     assert "builtin `open()`" in kinds
     assert ".write_text()" in kinds
+    assert "imports `multiprocessing` (ambient parallelism)" in kinds
+    assert "imports from `concurrent` (ambient parallelism)" in kinds
+    assert "forks via `os.fork`" in kinds
+
+
+def test_parallelism_lint_allows_only_the_executor():
+    """Process pools are legal in testkit/executor.py and nowhere else."""
+    code = (
+        "import multiprocessing\n"
+        "from multiprocessing.connection import wait\n"
+    )
+    tree = ast.parse(code)
+    assert not _module_findings(SRC_ROOT / "testkit" / "executor.py", tree)
+    offences = _module_findings(SRC_ROOT / "testkit" / "fuzzer.py", tree)
+    assert len(offences) == 2
 
 
 def test_filesystem_lint_respects_the_io_edges():

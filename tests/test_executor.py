@@ -1,0 +1,240 @@
+"""The parallel campaign executor: determinism, fault paths, merging.
+
+Pins the tentpole contract: ``--jobs N`` must change wall clock only.
+Summaries, labels, progress lines and artifact bytes are byte-identical
+to the serial loop because shards merge in campaign-index order; a
+worker killed mid-campaign becomes a recorded ``worker-crash`` failure
+with a replayable seed artifact and the pool drains cleanly.
+
+The cheap pool-plumbing tests use the ``selftest`` task (no deployment
+runs); the byte-equality pins run real bounded fuzz batches like
+``test_dst_smoke`` does.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.testkit import load_artifact, replay_artifact
+from repro.testkit.executor import (
+    ENVELOPE_SCHEMA,
+    ExecutorStats,
+    resolve_jobs,
+    run_shards,
+)
+from repro.testkit.fuzzer import run_fuzz
+
+
+class TestResolveJobs:
+    def test_int_and_string_forms(self):
+        assert resolve_jobs(3) == 3
+        assert resolve_jobs("2") == 2
+
+    def test_auto_resolves_to_at_least_one(self):
+        assert resolve_jobs("auto") >= 1
+        assert resolve_jobs(None) >= 1
+
+    def test_invalid_values_raise(self):
+        with pytest.raises(ValueError):
+            resolve_jobs(0)
+        with pytest.raises(ValueError):
+            resolve_jobs("-1")
+
+    def test_unknown_task_raises(self):
+        with pytest.raises(ValueError, match="unknown executor task"):
+            list(run_shards("no-such-task", [{}]))
+
+
+class TestPoolPlumbing:
+    """Selftest-task shards: ordering, crash, raise, early close."""
+
+    def test_inline_path_preserves_order_and_envelopes(self):
+        stats = ExecutorStats()
+        out = list(
+            run_shards(
+                "selftest",
+                [{"mode": "echo", "value": i} for i in range(4)],
+                jobs=1,
+                stats=stats,
+            )
+        )
+        assert [e["index"] for e in out] == [0, 1, 2, 3]
+        assert [e["payload"]["value"] for e in out] == [0, 1, 2, 3]
+        assert all(e["schema"] == ENVELOPE_SCHEMA for e in out)
+        assert stats.jobs == 1 and stats.shards == 4
+        assert stats.workers_spawned == 0  # inline: no processes
+
+    def test_pool_emits_in_index_order(self):
+        stats = ExecutorStats()
+        out = list(
+            run_shards(
+                "selftest",
+                [{"mode": "echo", "value": i} for i in range(6)],
+                jobs=3,
+                stats=stats,
+            )
+        )
+        assert [e["payload"]["value"] for e in out] == list(range(6))
+        assert stats.jobs == 3
+        assert stats.workers_spawned == 3
+        assert stats.total_busy_s >= stats.critical_path_s >= 0.0
+
+    def test_task_exception_returns_error_envelope(self):
+        out = list(
+            run_shards(
+                "selftest",
+                [{"mode": "echo", "value": 1}, {"mode": "raise", "message": "boom"}],
+                jobs=2,
+            )
+        )
+        assert out[0]["ok"] and out[0]["payload"] == {"value": 1}
+        assert not out[1]["ok"]
+        assert "boom" in out[1]["error"]
+        assert not out[1].get("worker_crash", False)
+
+    def test_worker_death_yields_crash_envelope_and_pool_drains(self):
+        stats = ExecutorStats()
+        specs = [
+            {"mode": "echo", "value": 0},
+            {"mode": "exit"},  # hard os._exit mid-shard
+            {"mode": "echo", "value": 2},
+            {"mode": "echo", "value": 3},
+        ]
+        out = list(run_shards("selftest", specs, jobs=2, stats=stats))
+        assert [e["index"] for e in out] == [0, 1, 2, 3]
+        crash = out[1]
+        assert not crash["ok"] and crash["worker_crash"]
+        assert "mid-shard" in crash["error"]
+        # every other shard still completed, in order
+        assert out[0]["payload"]["value"] == 0
+        assert out[2]["payload"]["value"] == 2
+        assert out[3]["payload"]["value"] == 3
+        assert stats.worker_crashes == 1
+
+    def test_closing_the_generator_early_shuts_the_pool_down(self):
+        gen = run_shards(
+            "selftest",
+            [{"mode": "echo", "value": i} for i in range(8)],
+            jobs=2,
+        )
+        first = next(gen)
+        assert first["payload"]["value"] == 0
+        gen.close()  # must not hang or leak workers
+
+
+class TestFuzzByteEquality:
+    """`repro fuzz --jobs 2` output is byte-identical to `--jobs 1`."""
+
+    def _run(self, jobs, **kwargs):
+        lines = []
+        summary = run_fuzz(
+            master_seed=0,
+            check_determinism=False,
+            progress=lines.append,
+            jobs=jobs,
+            **kwargs,
+        )
+        return lines, summary
+
+    def test_passing_batch_is_byte_identical(self):
+        serial_lines, serial = self._run(1, campaigns=2, shrink=False)
+        parallel_lines, parallel = self._run(2, campaigns=2, shrink=False)
+        assert serial_lines == parallel_lines
+        assert json.dumps(serial.to_dict(), sort_keys=True) == json.dumps(
+            parallel.to_dict(), sort_keys=True
+        )
+
+    def test_failing_batch_shrinks_and_writes_identical_artifacts(self, tmp_path):
+        mutation = "skip-batch-dedupe"
+        serial_dir = tmp_path / "serial"
+        parallel_dir = tmp_path / "parallel"
+        serial_lines, serial = self._run(
+            1,
+            campaigns=2,
+            mutation=mutation,
+            shrink=True,
+            shrink_budget=8,
+            artifact_dir=serial_dir,
+        )
+        parallel_lines, parallel = self._run(
+            2,
+            campaigns=2,
+            mutation=mutation,
+            shrink=True,
+            shrink_budget=8,
+            artifact_dir=parallel_dir,
+        )
+        assert not serial.ok and not parallel.ok
+        # identical summaries (artifact filenames are seed-derived)...
+        assert json.dumps(serial.to_dict(), sort_keys=True) == json.dumps(
+            parallel.to_dict(), sort_keys=True
+        )
+        # ...identical progress lines except the artifact-dir prefix
+        normalize = lambda lines: [  # noqa: E731
+            line.replace(str(serial_dir), "D").replace(str(parallel_dir), "D")
+            for line in lines
+        ]
+        assert normalize(serial_lines) == normalize(parallel_lines)
+        # ...and byte-identical artifact files
+        serial_files = sorted(p.name for p in serial_dir.iterdir())
+        parallel_files = sorted(p.name for p in parallel_dir.iterdir())
+        assert serial_files == parallel_files and serial_files
+        for name in serial_files:
+            assert (serial_dir / name).read_bytes() == (
+                parallel_dir / name
+            ).read_bytes()
+
+
+class TestFuzzWorkerCrash:
+    def test_killed_worker_records_replayable_failure(self, tmp_path):
+        lines = []
+        stats = ExecutorStats()
+        metrics = MetricsRegistry()
+        summary = run_fuzz(
+            campaigns=3,
+            master_seed=0,
+            check_determinism=False,
+            shrink=False,
+            artifact_dir=tmp_path,
+            progress=lines.append,
+            jobs=2,
+            stats=stats,
+            metrics=metrics,
+            _kill_indices=[1],
+        )
+        # the other two campaigns completed normally
+        assert summary.passed == 2
+        assert len(summary.failures) == 1
+        failure = summary.failures[0]
+        assert failure.index == 1
+        assert failure.result.failure_kind == "worker-crash"
+        assert summary.labels["worker-crash"] == 1
+        assert stats.worker_crashes == 1
+        assert any("WORKER CRASH" in line for line in lines)
+        # the artifact is valid and replayable: the scenario itself is
+        # healthy, so the replay runs clean (the crash was the host
+        # process dying, not the simulation)
+        assert failure.artifact_path is not None
+        doc = load_artifact(failure.artifact_path)
+        assert doc["failure"] == "worker-crash"
+        replayed = replay_artifact(doc, check_determinism=False)
+        assert replayed.ok
+        # per-worker metrics from the surviving workers still merged
+        assert metrics.counter("repro.executor.campaigns").value == 2
+
+
+class TestRecoverJobsParity:
+    def test_recover_output_is_identical_across_jobs(self, capsys):
+        from repro.cli import main
+
+        argv = ["recover", "--until", "12000", "--crash-at", "2000"]
+        code_serial = main(argv + ["--jobs", "1"])
+        out_serial = capsys.readouterr().out
+        code_parallel = main(argv + ["--jobs", "2"])
+        out_parallel = capsys.readouterr().out
+        assert code_serial == code_parallel
+        assert out_serial == out_parallel
+        assert "crashed run:" in out_serial

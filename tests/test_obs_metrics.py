@@ -186,3 +186,103 @@ class TestNullRegistry:
         assert MetricsRegistry.enabled is True
         assert NULL_REGISTRY.names() == []
         assert NULL_REGISTRY.snapshot() == {}
+
+
+class TestRegistryMerge:
+    """Merging per-worker registries back into the parent (executor)."""
+
+    def test_counters_sum(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("repro.m.c").inc(3)
+        b.counter("repro.m.c").inc(4.5)
+        a.merge(b)
+        assert a.counter("repro.m.c").value == pytest.approx(7.5)
+
+    def test_gauges_last_by_index_and_peak(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.gauge("repro.m.depth").set(9)
+        a.gauge("repro.m.depth").set(2)
+        b.gauge("repro.m.depth").set(5)
+        a.merge(b)  # b holds the later shard: its value wins
+        g = a.gauge("repro.m.depth")
+        assert g.value == 5
+        assert g.max_value == 9  # watermark keeps the overall peak
+
+    def test_histograms_merge_bucket_wise(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        ha = a.histogram("repro.m.h", base=1.0, growth=2.0)
+        hb = b.histogram("repro.m.h", base=1.0, growth=2.0)
+        for v in (0.0, 0.5, 3.0):
+            ha.record(v)
+        for v in (0.5, 16.0):
+            hb.record(v)
+        a.merge(b)
+        assert ha.count == 5
+        assert ha.zeros == 1
+        assert ha.total == pytest.approx(20.0)
+        assert ha.min == 0.0 and ha.max == 16.0
+        # bucket 0 is (0, 1]: one 0.5 from each side
+        assert dict(ha.bucket_counts())[1.0] == 2
+
+    def test_histogram_config_mismatch_raises(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.histogram("repro.m.h", base=1.0, growth=2.0)
+        b.histogram("repro.m.h", base=2.0, growth=2.0)
+        with pytest.raises(ObservabilityError, match="cannot merge"):
+            a.merge(b)
+
+    def test_empty_and_disjoint_registries(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.merge(b)  # empty into empty: no-op
+        assert a.names() == []
+        a.counter("repro.m.a").inc(1)
+        b.counter("repro.m.b").inc(2)
+        b.histogram("repro.m.h").record(0.25)
+        a.merge(b)  # disjoint names are created on the target
+        assert a.counter("repro.m.a").value == 1
+        assert a.counter("repro.m.b").value == 2
+        assert a.histogram("repro.m.h").count == 1
+        # merging never mutates the source
+        assert b.names() == ["repro.m.b", "repro.m.h"]
+
+    def test_merge_accepts_a_dump_dict_round_tripped_through_json(self):
+        import json
+
+        a, b = MetricsRegistry(), MetricsRegistry()
+        b.counter("repro.m.c").inc(2)
+        b.gauge("repro.m.g").set(3)
+        b.histogram("repro.m.h", base=0.01, growth=2.0).record(0.02)
+        state = json.loads(json.dumps(b.dump()))  # the pipe crossing
+        a.merge(state)
+        assert a.snapshot().keys() == b.snapshot().keys()
+        assert a.histogram("repro.m.h", base=0.01, growth=2.0).count == 1
+
+    def test_merge_is_associative_across_workers(self):
+        parts = []
+        for inc in (1, 2, 3):
+            reg = MetricsRegistry()
+            reg.counter("repro.m.c").inc(inc)
+            reg.histogram("repro.m.h").record(float(inc))
+            parts.append(reg)
+        left = MetricsRegistry()
+        for reg in parts:
+            left.merge(reg)
+        right = MetricsRegistry()
+        right.merge(parts[1])
+        right.merge(parts[2])
+        right.merge(parts[0])
+        assert left.counter("repro.m.c").value == right.counter("repro.m.c").value
+        assert left.histogram("repro.m.h").quantile(0.5) == right.histogram(
+            "repro.m.h"
+        ).quantile(0.5)
+
+    def test_unknown_instrument_type_raises(self):
+        a = MetricsRegistry()
+        with pytest.raises(ObservabilityError, match="unknown type"):
+            a.merge({"repro.m.x": {"type": "meter", "value": 1}})
+
+    def test_null_registry_merge_is_a_noop(self):
+        b = MetricsRegistry()
+        b.counter("repro.m.c").inc(5)
+        NULL_REGISTRY.merge(b)
+        assert NULL_REGISTRY.dump() == {}

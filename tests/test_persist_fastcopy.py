@@ -1,0 +1,187 @@
+"""fast_deepcopy must keep copy.deepcopy's semantics on snapshot graphs.
+
+The structured fast copy (``persist/fastcopy.py``) replaces
+``copy.deepcopy`` on the checkpoint and restore paths; these tests pin
+the properties the durability lane depends on: deep independence,
+aliasing preservation (one Task in two collections stays one Task in
+the copy), cycle termination, ``__deepcopy__`` hooks, and fallback
+equivalence for protocol-customised types — plus a differential against
+``copy.deepcopy`` on a real exported backend state graph.
+"""
+
+from __future__ import annotations
+
+import copy
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+import pytest
+
+from repro.config import paper_config
+from repro.eval import Workbench
+from repro.obs.metrics import Histogram
+from repro.persist.fastcopy import fast_deepcopy
+from repro.persist.snapshot import structural_size
+from repro.server import Deployment
+
+
+@dataclass
+class PlainRow:
+    key: str
+    values: list = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class FrozenRow:
+    key: str
+    payload: tuple = ()
+
+
+class SlottedRow:
+    __slots__ = ("a", "b")
+
+    def __init__(self, a, b):
+        self.a = a
+        self.b = b
+
+
+class CustomCopy:
+    def __init__(self, tag):
+        self.tag = tag
+
+    def __deepcopy__(self, memo):
+        return CustomCopy(self.tag + "-copied")
+
+
+class TestAtomsAndContainers:
+    def test_atoms_return_themselves(self):
+        for atom in (None, True, 7, 2.5, "s", b"b", range(3), fast_deepcopy):
+            assert fast_deepcopy(atom) is atom
+
+    def test_containers_are_deep_and_independent(self):
+        src = {"a": [1, [2, 3]], "b": {4}, "c": (5, [6]), "d": deque([7])}
+        out = fast_deepcopy(src)
+        assert out == src
+        out["a"][1].append(99)
+        out["c"][1].append(99)
+        assert src["a"][1] == [2, 3]
+        assert src["c"][1] == [6]
+
+    def test_all_atomic_tuple_is_shared(self):
+        t = (1, "x", 2.5)
+        assert fast_deepcopy(t) is t
+
+    def test_aliasing_is_preserved(self):
+        row = PlainRow("shared", [1])
+        src = {"queue": [row], "ledger": {"k": row}, "pair": (row, row)}
+        out = fast_deepcopy(src)
+        assert out["queue"][0] is out["ledger"]["k"]
+        assert out["pair"][0] is out["pair"][1] is out["queue"][0]
+        assert out["queue"][0] is not row
+
+    def test_cycles_terminate(self):
+        src = {"name": "loop"}
+        src["self"] = src
+        lst = [1]
+        lst.append(lst)
+        src["list"] = lst
+        out = fast_deepcopy(src)
+        assert out["self"] is out
+        assert out["list"][1] is out["list"]
+        assert out is not src
+
+    def test_deque_keeps_maxlen(self):
+        src = deque([1, 2, 3], maxlen=3)
+        out = fast_deepcopy(src)
+        assert out.maxlen == 3 and list(out) == [1, 2, 3]
+        out.append(4)
+        assert list(src) == [1, 2, 3]
+
+
+class TestClasses:
+    def test_plain_dataclass_fast_path(self):
+        row = PlainRow("k", [1, 2])
+        out = fast_deepcopy(row)
+        assert out is not row and out == row
+        out.values.append(3)
+        assert row.values == [1, 2]
+
+    def test_frozen_dataclass(self):
+        row = FrozenRow("k", ([1], [2]))
+        out = fast_deepcopy(row)
+        assert out == row and out is not row
+        assert out.payload[0] is not row.payload[0]
+
+    def test_slotted_class(self):
+        row = SlottedRow([1], {"x": 2})
+        out = fast_deepcopy(row)
+        assert out.a == [1] and out.a is not row.a
+        assert out.b == {"x": 2} and out.b is not row.b
+
+    def test_dunder_deepcopy_is_honoured(self):
+        src = [CustomCopy("t")]
+        out = fast_deepcopy(src)
+        assert out[0].tag == "t-copied"
+
+    def test_telemetry_instruments_copy_as_themselves(self):
+        h = Histogram("repro.test.h")
+        h.record(1.0)
+        out = fast_deepcopy({"h": h})
+        assert out["h"] is h  # live handle, identity __deepcopy__
+
+    def test_fallback_matches_deepcopy_for_protocol_types(self):
+        arr = np.arange(6, dtype=np.float64).reshape(2, 3)
+        src = {"arr": arr, "alias": arr}
+        out = fast_deepcopy(src)
+        assert out["arr"] is not arr
+        assert np.array_equal(out["arr"], arr)
+        # aliasing across the deepcopy-fallback region survives the
+        # shared memo
+        assert out["arr"] is out["alias"]
+        out["arr"][0, 0] = 99.0
+        assert arr[0, 0] == 0.0
+
+
+class TestDifferentialOnRealState:
+    """fast_deepcopy vs copy.deepcopy on an exported backend graph."""
+
+    @pytest.fixture(scope="class")
+    def exported_state(self):
+        deployment = Deployment(
+            Workbench.for_library(paper_config()), n_clients=2
+        )
+        deployment.run(until_s=4_000.0, max_events=200_000)
+        server = deployment.server
+        with server.pipeline.compact_history():
+            yield server.export_state()
+
+    def test_same_structural_size_and_keys(self, exported_state):
+        fast = fast_deepcopy(exported_state)
+        slow = copy.deepcopy(exported_state)
+        assert fast.keys() == slow.keys() == exported_state.keys()
+        assert (
+            structural_size(fast)
+            == structural_size(slow)
+            == structural_size(exported_state)
+        )
+
+    def test_copy_is_independent_of_the_live_graph(self, exported_state):
+        fast = fast_deepcopy(exported_state)
+        assert fast["_task_queue"] is not exported_state["_task_queue"]
+        assert list(fast["_task_queue"]) == list(exported_state["_task_queue"])
+        assert fast["_request_ledger"] == exported_state["_request_ledger"]
+        assert fast["_request_ledger"] is not exported_state["_request_ledger"]
+
+    def test_in_graph_aliasing_matches_deepcopy(self, exported_state):
+        fast = fast_deepcopy(exported_state)
+        slow = copy.deepcopy(exported_state)
+
+        def shared_ids(state):
+            # map id(original) -> how many container slots point at it
+            seen = {}
+            for task in state["_task_queue"]:
+                seen[id(task)] = seen.get(id(task), 0) + 1
+            return sorted(seen.values())
+
+        assert shared_ids(fast) == shared_ids(slow)
