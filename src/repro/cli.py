@@ -198,6 +198,7 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         check_determinism=not args.no_determinism,
         scratch_twin_every=args.scratch_twin_every,
         crashes=args.crashes,
+        storage_faults=args.storage_faults,
         artifact_dir=args.artifacts,
         max_failures=args.max_failures,
         progress=print,
@@ -246,16 +247,29 @@ def cmd_recover(args: argparse.Namespace) -> int:
     # first (inline, or concurrently on the executor pool with --jobs 2)
     # and printed from their payload dicts afterwards, so the output is
     # byte-identical regardless of --jobs.
+    crashed_spec = {
+        "crashed": True,
+        "seed": args.seed,
+        "snapshot_every": args.snapshot_every,
+        "snapshot_retain": args.snapshot_retain,
+        "crash_at": args.crash_at,
+        "downtime": args.downtime,
+        "clients": args.clients,
+        "until": args.until,
+    }
+    if args.storage_faults:
+        # Deterministic degraded recovery: corrupt exactly the newest
+        # snapshot generation at the crash (probability 1, cascade cap
+        # 1), forcing the ladder to quarantine it and fall back to an
+        # older verified generation with a longer WAL replay. The WAL
+        # itself stays intact, so the recovered campaign must still
+        # converge byte-identically to the crash-free twin.
+        crashed_spec["storage_faults"] = {
+            "snapshot_corruption": 1.0,
+            "max_damaged_generations": 1,
+        }
     specs = [
-        {
-            "crashed": True,
-            "seed": args.seed,
-            "snapshot_every": args.snapshot_every,
-            "crash_at": args.crash_at,
-            "downtime": args.downtime,
-            "clients": args.clients,
-            "until": args.until,
-        },
+        crashed_spec,
         {
             "crashed": False,
             "seed": args.seed,
@@ -283,17 +297,40 @@ def cmd_recover(args: argparse.Namespace) -> int:
         f"  crashes: {report['backend_crashes']}  recoveries: {report['backend_recoveries']}  "
         f"wal records: {report['wal_records']}  snapshots: {report['snapshots_taken']}"
     )
+    for i, damage in enumerate(crashed.get("storage", [])):
+        if damage["damaged_snapshot_seqs"] or damage["wal_torn"] or (
+            damage["wal_dropped_records"]
+        ):
+            print(
+                f"  crash #{i} storage damage: "
+                f"snapshots {damage['damaged_snapshot_seqs']} "
+                f"({', '.join(damage['damage_modes']) or 'none'}), "
+                f"wal torn={damage['wal_torn']} "
+                f"dropped={damage['wal_dropped_records']}"
+            )
     audits_ok = True
+    saw_fallback = False
     for i, rec in enumerate(crashed["audits"]):
         ok = rec["audit_ok"]
         audits_ok = audits_ok and ok
+        saw_fallback = saw_fallback or rec["fallback"]
+        ladder = ""
+        if rec["fallback"] or rec["quarantined_seqs"]:
+            ladder = (
+                f", tried {rec['generations_tried']} generations, "
+                f"quarantined {rec['quarantined_seqs']} "
+                f"({rec['quarantined_bytes']} seal bytes)"
+            )
         print(
             f"  recovery #{i}: snapshot seq {rec['snapshot_seq']}, "
             f"replayed {rec['replayed_records']} records, "
             f"dropped {rec['dropped_remnants']} remnants, "
             f"re-armed {rec['armed_leases']} leases, "
-            f"audit {'ok' if ok else 'MISMATCH'}"
+            f"audit {'ok' if ok else 'MISMATCH'}{ladder}"
         )
+    if args.storage_faults and not saw_fallback:
+        print("storage faults armed but no recovery fell back a generation")
+        return 1
 
     # The crash-free twin: same seed, no crash, persistence off — the
     # plain pre-durability deployment recovery must converge to exactly.
@@ -384,6 +421,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="force a seeded backend crash-restart schedule onto every campaign",
     )
+    p_fuzz.add_argument(
+        "--storage-faults",
+        action="store_true",
+        help="also arm seeded storage damage (torn WAL tails, dropped "
+        "flushes, snapshot corruption) at every forced crash",
+    )
     p_fuzz.add_argument("--max-failures", type=int, default=3)
     p_fuzz.add_argument("--no-shrink", action="store_true")
     p_fuzz.add_argument("--no-determinism", action="store_true")
@@ -407,6 +450,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_recover.add_argument(
         "--snapshot-every", type=int, default=8, help="checkpoint every N batches"
+    )
+    p_recover.add_argument(
+        "--snapshot-retain", type=int, default=3,
+        help="checkpoint generations retained (newest N + genesis)",
+    )
+    p_recover.add_argument(
+        "--storage-faults",
+        action="store_true",
+        help="corrupt the newest snapshot generation at the crash, forcing "
+        "a verified older-generation fallback (twin equivalence still holds)",
     )
     p_recover.add_argument(
         "--jobs",

@@ -409,10 +409,22 @@ class PersistConfig:
     #: Re-run recovery twice and cross-check the recovered-state digests
     #: (idempotence audit). Cheap relative to a crash; on by default.
     audit_recovery: bool = True
+    #: Checkpoint generations retained (newest N, plus genesis which is
+    #: never pruned). More generations give the recovery ladder deeper
+    #: fallback rungs when storage faults damage the newest image(s).
+    snapshot_retain: int = 3
+    #: Seeded storage damage applied to the durable media at crash
+    #: instants (:class:`repro.persist.faults.StorageFaultConfig`);
+    #: ``None`` = pristine media (the pre-fault-model behaviour).
+    storage_faults: Optional["StorageFaultConfig"] = None
 
     def validate(self) -> None:
         if self.snapshot_every_batches < 1:
             raise ConfigError("snapshot_every_batches must be >= 1")
+        if self.snapshot_retain < 1:
+            raise ConfigError("snapshot_retain must be >= 1")
+        if self.storage_faults is not None:
+            self.storage_faults.validate()
 
 
 @dataclass(frozen=True)
@@ -483,6 +495,8 @@ class SnapTaskConfig:
         self,
         snapshot_every_batches: int = 8,
         audit_recovery: bool = True,
+        snapshot_retain: int = 3,
+        storage_faults: Optional["StorageFaultConfig"] = None,
     ) -> "SnapTaskConfig":
         """Return a copy with backend durability (WAL + snapshots) on."""
         return replace(
@@ -491,6 +505,8 @@ class SnapTaskConfig:
                 enabled=True,
                 snapshot_every_batches=snapshot_every_batches,
                 audit_recovery=audit_recovery,
+                snapshot_retain=snapshot_retain,
+                storage_faults=storage_faults,
             ),
         )
 

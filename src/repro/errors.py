@@ -68,5 +68,19 @@ class PersistenceError(ReproError):
     """Durability subsystem failure (bad WAL frame, recovery misuse)."""
 
 
+class UnrecoverableStateError(PersistenceError):
+    """Every snapshot generation failed verification; recovery fails closed.
+
+    Carries a structured ``report`` dict (quarantined generations with
+    damage reasons and byte counts, plus WAL condition) so operators and
+    the DST harness can distinguish a correct fail-closed outcome from a
+    recovery bug.
+    """
+
+    def __init__(self, message: str, report: dict) -> None:
+        super().__init__(message)
+        self.report = report
+
+
 class BackendUnavailableError(ProtocolError):
     """The backend is down (crashed, not yet recovered); message is lost."""

@@ -462,3 +462,133 @@ def load_and_validate_dst(path: PathLike) -> dict:
     doc = json.loads(pathlib.Path(path).read_text())
     assert_valid_bench_dst(doc)
     return doc
+
+
+# ---------------------------------------------------------------------------
+# BENCH_recovery.json — recovery-ladder cost vs fallback depth
+# ---------------------------------------------------------------------------
+
+BENCH_RECOVERY_SCHEMA = "repro.bench.recovery/v1"
+
+#: One row per forced fallback depth (``depth`` = newest generations
+#: damaged before recovery; 0 = the clean happy path).
+_RECOVERY_ROW_FIELDS = (
+    "depth",
+    "snapshot_seq",
+    "generations_tried",
+    "quarantined",
+    "quarantined_bytes",
+    "replayed_records",
+    "wall_s",
+)
+
+_RECOVERY_SUMMARY_FIELDS = (
+    "generations",
+    "wal_records",
+    "newest_replayed_records",
+    "genesis_replayed_records",
+    "newest_wall_s",
+    "genesis_wall_s",
+    "replay_amplification",
+    "wall_amplification",
+)
+
+
+def bench_recovery_document(
+    rows: List[dict], summary: dict, campaign: Optional[dict] = None
+) -> dict:
+    """Build the ``BENCH_recovery.json`` document.
+
+    ``summary.replay_amplification`` is the genesis-rung replay length
+    over the newest-rung replay length — the price (in replayed
+    records) of falling all the way down the ladder;
+    ``summary.wall_amplification`` is the same ratio in wall seconds.
+    ``summary.digest_identical`` asserts every rung recovered the same
+    logical state digest — the ladder trades replay work for nothing
+    else.
+    """
+    return {
+        "schema": BENCH_RECOVERY_SCHEMA,
+        "generated_at": utc_now_iso(),
+        "campaign": dict(campaign or {}),
+        "rows": [dict(row) for row in rows],
+        "summary": dict(summary),
+    }
+
+
+def write_bench_recovery(
+    path: PathLike,
+    rows: List[dict],
+    summary: dict,
+    campaign: Optional[dict] = None,
+) -> pathlib.Path:
+    doc = bench_recovery_document(rows, summary, campaign)
+    assert_valid_bench_recovery(doc)
+    path = pathlib.Path(path)
+    path.write_text(json.dumps(doc, indent=2) + "\n")
+    return path
+
+
+def validate_bench_recovery(doc) -> List[str]:
+    """Return a list of schema violations (empty == valid)."""
+    problems: List[str] = []
+    if not isinstance(doc, dict):
+        return ["document is not an object"]
+    if doc.get("schema") != BENCH_RECOVERY_SCHEMA:
+        problems.append(
+            f"schema is {doc.get('schema')!r}, expected {BENCH_RECOVERY_SCHEMA!r}"
+        )
+    if not isinstance(doc.get("generated_at"), str):
+        problems.append("generated_at missing or not a string")
+    if not isinstance(doc.get("campaign"), dict):
+        problems.append("campaign missing or not an object")
+    rows = doc.get("rows")
+    if not isinstance(rows, list) or not rows:
+        problems.append("rows missing, not a list, or empty")
+    else:
+        for i, row in enumerate(rows):
+            if not isinstance(row, dict):
+                problems.append(f"rows[{i}] is not an object")
+                continue
+            for field in _RECOVERY_ROW_FIELDS:
+                value = row.get(field)
+                if not isinstance(value, (int, float)) or isinstance(value, bool):
+                    problems.append(f"rows[{i}] field {field!r} not numeric")
+            depth = row.get("depth")
+            if isinstance(depth, int) and depth < 0:
+                problems.append(f"rows[{i}] has negative depth")
+            tried = row.get("generations_tried")
+            if isinstance(tried, int) and isinstance(depth, int):
+                if tried != depth + 1:
+                    problems.append(
+                        f"rows[{i}] generations_tried != depth + 1"
+                    )
+    summary = doc.get("summary")
+    if not isinstance(summary, dict):
+        problems.append("summary missing or not an object")
+    else:
+        for field in _RECOVERY_SUMMARY_FIELDS:
+            value = summary.get(field)
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                problems.append(f"summary field {field!r} not numeric")
+        if not isinstance(summary.get("digest_identical"), bool):
+            problems.append("summary field 'digest_identical' not a bool")
+        amp = summary.get("replay_amplification")
+        if isinstance(amp, (int, float)) and amp < 1.0:
+            problems.append("summary replay_amplification below 1.0")
+    return problems
+
+
+def assert_valid_bench_recovery(doc) -> None:
+    problems = validate_bench_recovery(doc)
+    if problems:
+        raise ObservabilityError(
+            "invalid BENCH_recovery document: " + "; ".join(problems[:10])
+        )
+
+
+def load_and_validate_recovery(path: PathLike) -> dict:
+    """CI helper: load ``path``, validate as BENCH_recovery, return the document."""
+    doc = json.loads(pathlib.Path(path).read_text())
+    assert_valid_bench_recovery(doc)
+    return doc

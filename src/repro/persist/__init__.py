@@ -3,10 +3,13 @@
 The backend's state-mutating handler outcomes are journaled to a
 write-ahead log through a versioned, CRC-framed codec
 (:mod:`repro.persist.codec`); a snapshotter periodically checkpoints
-the whole backend state as one cheap deep copy
-(:mod:`repro.persist.snapshot`); and recovery restores
-latest-snapshot + WAL-replay into a fresh server, re-arming leases at
-the recovered sim-time (:mod:`repro.persist.recovery`).
+the whole backend state as one cheap deep copy, retaining multiple
+sealed generations (:mod:`repro.persist.snapshot`); and recovery walks
+a verify-then-fallback ladder over those generations + WAL-replay into
+a fresh server, re-arming leases at the recovered sim-time
+(:mod:`repro.persist.recovery`). Seeded storage fault injection
+(:mod:`repro.persist.faults`) damages the media at crash instants to
+prove the ladder holds.
 
 :class:`BackendHost` ties it together for deployments: it owns the
 durable media, injects crash-restarts, and forwards calls to the
@@ -20,8 +23,27 @@ determinism digests exclude.
 
 from __future__ import annotations
 
-from .codec import CODEC_VERSION, CodecError, decode_wal, encode_record
-from .digest import state_digest, state_projection
+from .codec import (
+    CODEC_VERSION,
+    CodecError,
+    decode_seal,
+    decode_wal,
+    encode_record,
+    encode_seal,
+)
+from .digest import (
+    canonical_state_bytes,
+    digest_of_state,
+    projection_of_state,
+    state_digest,
+    state_projection,
+)
+from .faults import (
+    SNAPSHOT_DAMAGE_MODES,
+    StorageFaultConfig,
+    StorageFaultInjector,
+    StorageFaultReport,
+)
 from .hooks import PersistenceLog
 from .host import BackendHost
 from .records import (
@@ -34,16 +56,25 @@ from .records import (
     ReapRecord,
 )
 from .recovery import RecoveryManager, RecoveryResult
-from .snapshot import Snapshot, Snapshotter
-from .wal import WriteAheadLog
+from .snapshot import Snapshot, Snapshotter, verify_snapshot
+from .wal import WalLoadReport, WriteAheadLog
 
 __all__ = [
     "CODEC_VERSION",
     "CodecError",
     "encode_record",
     "decode_wal",
+    "encode_seal",
+    "decode_seal",
     "state_digest",
     "state_projection",
+    "projection_of_state",
+    "canonical_state_bytes",
+    "digest_of_state",
+    "SNAPSHOT_DAMAGE_MODES",
+    "StorageFaultConfig",
+    "StorageFaultInjector",
+    "StorageFaultReport",
     "PersistenceLog",
     "BackendHost",
     "RECORD_KINDS",
@@ -57,5 +88,7 @@ __all__ = [
     "RecoveryResult",
     "Snapshot",
     "Snapshotter",
+    "verify_snapshot",
+    "WalLoadReport",
     "WriteAheadLog",
 ]

@@ -27,7 +27,7 @@ import base64
 import json
 import struct
 import zlib
-from typing import Iterator, List, Tuple
+from typing import Iterator, List, Optional, Tuple
 
 from ..errors import PersistenceError
 from .records import RECORD_KINDS, record_fields, record_kind
@@ -39,6 +39,9 @@ __all__ = [
     "decode_body",
     "iter_frames",
     "decode_wal",
+    "estimate_torn_records",
+    "encode_seal",
+    "decode_seal",
 ]
 
 #: On-disk format version. Bump on any incompatible body/frame change;
@@ -46,6 +49,7 @@ __all__ = [
 CODEC_VERSION = 1
 
 _MAGIC = b"RW"
+_SEAL_MAGIC = b"RS"
 _HEADER = struct.Struct("<2sBII")  # magic, version, body_len, crc32
 
 
@@ -136,3 +140,52 @@ def decode_wal(buf: bytes) -> Tuple[List[object], int, bool]:
         records.append(decode_body(body))
         consumed = end
     return records, consumed, consumed != len(buf)
+
+
+def estimate_torn_records(buf: bytes, clean_bytes: int) -> int:
+    """Lower-bound estimate of records lost in a torn tail.
+
+    A frame boundary cannot be re-found authoritatively past a corrupt
+    length field, so this scans the garbage region for plausible frame
+    headers (magic + supported version) and counts them — at least one
+    record was in flight if any garbage exists at all. Reporting only:
+    never used for correctness, only for quarantine reports and the
+    ``repro.persist.wal.torn_records`` counter.
+    """
+    if clean_bytes >= len(buf):
+        return 0
+    count = 0
+    offset = buf.find(_MAGIC, clean_bytes)
+    while offset != -1 and offset + _HEADER.size <= len(buf):
+        _, version, _, _ = _HEADER.unpack_from(buf, offset)
+        if version == CODEC_VERSION:
+            count += 1
+        offset = buf.find(_MAGIC, offset + 1)
+    return max(count, 1)
+
+
+def encode_seal(body: bytes) -> bytes:
+    """Frame a snapshot seal body (CRC-protected, distinct magic)."""
+    header = _HEADER.pack(_SEAL_MAGIC, CODEC_VERSION, len(body), zlib.crc32(body))
+    return header + body
+
+
+def decode_seal(buf: bytes) -> Optional[bytes]:
+    """Decode a seal frame; ``None`` if damaged in any way.
+
+    Unlike WAL frames there is exactly one frame and no tolerance: a
+    short header, short body, trailing garbage, bad magic/version, or a
+    CRC mismatch all mean the seal (and hence the snapshot generation it
+    guards) cannot be trusted.
+    """
+    if len(buf) < _HEADER.size:
+        return None
+    magic, version, body_len, crc = _HEADER.unpack_from(buf, 0)
+    if magic != _SEAL_MAGIC or version != CODEC_VERSION:
+        return None
+    if _HEADER.size + body_len != len(buf):
+        return None
+    body = bytes(buf[_HEADER.size:])
+    if zlib.crc32(body) != crc:
+        return None
+    return body

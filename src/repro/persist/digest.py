@@ -1,4 +1,4 @@
-"""Logical digest of a backend's durable state (recovery audits).
+"""Logical digest of a backend's durable state (recovery audits, seals).
 
 Recovery must be *idempotent*: running latest-snapshot + WAL-replay
 twice from the same media must yield the same backend. The audit pins
@@ -6,6 +6,14 @@ that with a digest over the recovered state's observable content — the
 task ledger, dedup ledgers, result log, pipeline progress, localizer
 counter — everything ``export_state()`` persists, projected onto
 primitives and hashed as canonical JSON.
+
+The same projection doubles as the snapshot *seal*: at checkpoint time
+the snapshotter canonicalises the captured state dict and frames it
+(CRC-protected, see :mod:`repro.persist.codec`); at recovery time the
+ladder recomputes the projection from the stored object graph and
+compares it byte-for-byte against the seal body, catching both media
+damage (flips, truncation — already caught by the frame CRC) and
+object-graph tampering that the frame alone cannot see.
 
 Telemetry handles are excluded by construction (they are process
 scoped, not state), as is anything keyed on live event tokens. Floats
@@ -18,16 +26,25 @@ import hashlib
 import json
 from typing import Dict
 
-__all__ = ["state_projection", "state_digest"]
+__all__ = [
+    "canonical_state_bytes",
+    "digest_of_state",
+    "projection_of_state",
+    "state_projection",
+    "state_digest",
+]
 
 
 def _canonical(doc) -> str:
     return json.dumps(doc, sort_keys=True, separators=(",", ":"), default=repr)
 
 
-def state_projection(server) -> Dict[str, object]:
-    """Primitive projection of every persisted backend field."""
-    state = server.export_state()
+def projection_of_state(state: Dict[str, object]) -> Dict[str, object]:
+    """Primitive projection of an ``export_state()``-shaped dict.
+
+    Works on the captured state graph directly so snapshot images can be
+    digested without a live server (seal verification during recovery).
+    """
     store = state["_store"]
     pipeline = state["_pipeline"]
     cloud = pipeline.model().cloud
@@ -78,6 +95,21 @@ def state_projection(server) -> Dict[str, object]:
         "protocol": repr(state["_protocol"]),
         "backend": repr(state["_backend"]),
     }
+
+
+def canonical_state_bytes(state: Dict[str, object]) -> bytes:
+    """Canonical-JSON encoding of the state projection (seal body)."""
+    return _canonical(projection_of_state(state)).encode("utf-8")
+
+
+def digest_of_state(state: Dict[str, object]) -> str:
+    """SHA-256 of a state dict's canonical projection."""
+    return hashlib.sha256(canonical_state_bytes(state)).hexdigest()
+
+
+def state_projection(server) -> Dict[str, object]:
+    """Primitive projection of every persisted backend field."""
+    return projection_of_state(server.export_state())
 
 
 def state_digest(server) -> str:

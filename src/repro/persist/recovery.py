@@ -1,6 +1,21 @@
-"""Recovery: latest snapshot + WAL replay -> a fresh, live backend.
+"""Recovery: verified snapshot + WAL replay -> a fresh, live backend.
 
-Recovery ordering (DESIGN §10):
+Recovery is a **verify-then-fallback ladder** over the retained
+snapshot generations (DESIGN §10), newest first:
+
+1. Verify the generation's seal — structural (frame CRC/length) and
+   semantic (recompute the canonical state projection, compare to the
+   seal body byte-for-byte).
+2. On damage: quarantine the generation (drop it from the store, count
+   its bytes) and step down to the next older generation — which costs
+   a longer WAL-suffix replay, nothing more.
+3. The genesis image (generation 0, WAL position 0) is the deepest
+   rung: recovering from it is a full WAL-only replay.
+4. If *every* generation is damaged, recovery fails closed with a
+   structured :class:`~repro.errors.UnrecoverableStateError` carrying
+   the quarantine report — never a silently wrong state.
+
+Restoring one generation (unchanged from the happy path):
 
 1. Deep-copy the snapshot image (the stored image stays pristine, which
    is what makes recovery re-runnable — and auditable).
@@ -23,13 +38,14 @@ the equivalence invariant.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import List, Optional, Tuple
 
-from ..errors import PersistenceError
+from ..errors import PersistenceError, UnrecoverableStateError
 from ..obs.metrics import NULL_REGISTRY
 from ..obs.wallclock import wall_now_s
 from .digest import state_digest
 from .fastcopy import fast_deepcopy
+from .snapshot import Snapshot, Snapshotter, verify_snapshot
 
 __all__ = ["RecoveryManager", "RecoveryResult"]
 
@@ -45,59 +61,143 @@ class RecoveryResult:
     armed_leases: int
     digest: str
     audit_digest: Optional[str] = None
+    #: Ladder bookkeeping: generations examined (1 = newest was clean),
+    #: the damaged generation seqs quarantined on the way down with the
+    #: reasons verification gave, and their seal bytes quarantined.
+    generations_tried: int = 1
+    quarantined_seqs: Tuple[int, ...] = ()
+    quarantine_reasons: Tuple[str, ...] = ()
+    quarantined_bytes: int = 0
 
     @property
     def audit_ok(self) -> bool:
         """True when no audit ran or the audit digest matched."""
         return self.audit_digest is None or self.audit_digest == self.digest
 
+    @property
+    def fallback(self) -> bool:
+        """True when the newest generation was rejected."""
+        return self.generations_tried > 1
+
 
 class RecoveryManager:
-    """Restores a backend from a (snapshot, WAL) media pair."""
+    """Restores a backend from a (snapshot store, WAL) media pair."""
 
-    def __init__(self, wal, snapshot, metrics=NULL_REGISTRY):
-        if snapshot is None:
+    def __init__(self, wal, snapshots, metrics=NULL_REGISTRY):
+        if snapshots is None:
+            raise PersistenceError("cannot recover without a snapshot (genesis missing)")
+        if isinstance(snapshots, Snapshot):
+            # Single-image convenience: wrap it as a one-rung ladder.
+            self._generations: List[Snapshot] = [snapshots]
+            self._store: Optional[Snapshotter] = None
+        else:
+            self._generations = snapshots.generations()
+            self._store = snapshots
+        if not self._generations:
             raise PersistenceError("cannot recover without a snapshot (genesis missing)")
         self._wal = wal
-        self._snapshot = snapshot
         self._h_replay = metrics.histogram(
             "repro.persist.recovery.replay_records", base=1.0, growth=2.0
         )
         self._h_wall = metrics.histogram(
             "repro.persist.wall.recovery_s", base=0.001, growth=2.0
         )
+        self._h_generations = metrics.histogram(
+            "repro.persist.recovery.generations_tried", base=1.0, growth=2.0
+        )
+        self._m_quarantined = metrics.counter(
+            "repro.persist.recovery.quarantined_snapshots"
+        )
+        self._m_quarantined_bytes = metrics.counter(
+            "repro.persist.recovery.quarantined_bytes"
+        )
+        self._m_fallbacks = metrics.counter("repro.persist.recovery.fallbacks")
+        self._m_failed_closed = metrics.counter("repro.persist.recovery.failed_closed")
+
+    def _verify(self, snapshot: Snapshot) -> Optional[str]:
+        """Damage reason or None. (The skip-digest-verify mutation's
+        patch point: bypassing this must be caught by the DST
+        recovery-integrity invariant.)"""
+        return verify_snapshot(snapshot)
 
     def recover(self, simulator, audit: bool = False) -> RecoveryResult:
-        """Restore-and-replay onto ``simulator``; optionally audit."""
+        """Ladder-restore onto ``simulator``; optionally audit.
+
+        Raises :class:`UnrecoverableStateError` (with the quarantine
+        report attached) when every retained generation fails
+        verification.
+        """
         t0 = wall_now_s()
-        records = self._wal.records(self._snapshot.wal_position)
-        server, dropped = self._restore(simulator, records)
+        quarantined: List[Tuple[int, str, int]] = []
+        chosen: Optional[Snapshot] = None
+        for snapshot in self._generations:
+            reason = self._verify(snapshot)
+            if reason is None:
+                chosen = snapshot
+                break
+            quarantined.append((snapshot.seq, reason, len(snapshot.seal)))
+        q_seqs = tuple(seq for seq, _, _ in quarantined)
+        q_reasons = tuple(reason for _, reason, _ in quarantined)
+        q_bytes = sum(n for _, _, n in quarantined)
+        if quarantined:
+            self._m_quarantined.inc(len(quarantined))
+            self._m_quarantined_bytes.inc(q_bytes)
+        if chosen is None:
+            self._m_failed_closed.inc()
+            raise UnrecoverableStateError(
+                "every snapshot generation failed verification; refusing to "
+                "restore a state that cannot be trusted",
+                report={
+                    "quarantined": [
+                        {"seq": seq, "reason": reason, "seal_bytes": n}
+                        for seq, reason, n in quarantined
+                    ],
+                    "generations": len(self._generations),
+                    "quarantined_bytes": q_bytes,
+                    "wal_records": self._wal.position,
+                    "wal_bytes": self._wal.size_bytes,
+                },
+            )
+        if quarantined:
+            self._m_fallbacks.inc()
+            if self._store is not None:
+                # Drop damaged generations from the store so the next
+                # crash's ladder never re-examines known-bad media.
+                for seq, _, _ in quarantined:
+                    self._store.quarantine(seq)
+        records = self._wal.records(chosen.wal_position)
+        server, dropped = self._restore(simulator, chosen, records)
         digest = state_digest(server)
         audit_digest = None
         if audit:
-            twin, _ = self._restore(simulator, records)
+            twin, _ = self._restore(simulator, chosen, records)
             audit_digest = state_digest(twin)
             # The twin exists only to be digested; fence it so nothing
             # (not even a misrouted call) can ever act through it.
             twin.fence()
         armed = server.arm_recovered_leases()
         self._h_replay.record(len(records))
+        self._h_generations.record(len(quarantined) + 1)
         self._h_wall.record(wall_now_s() - t0)
         return RecoveryResult(
             server=server,
-            snapshot_seq=self._snapshot.seq,
+            snapshot_seq=chosen.seq,
             replayed_records=len(records),
             dropped_remnants=dropped,
             armed_leases=armed,
             digest=digest,
             audit_digest=audit_digest,
+            generations_tried=len(quarantined) + 1,
+            quarantined_seqs=q_seqs,
+            quarantine_reasons=q_reasons,
+            quarantined_bytes=q_bytes,
         )
 
-    def _restore(self, simulator, records):
+    def _restore(self, simulator, snapshot: Snapshot, records):
         """Steps 1–4: fresh server, installed image, replayed suffix."""
         from ..server.backend import BackendServer  # lazy: avoids import cycle
 
-        state = fast_deepcopy(self._snapshot.state)
+        state = fast_deepcopy(snapshot.state)
         server = BackendServer(
             pipeline=state["_pipeline"],
             simulator=simulator,

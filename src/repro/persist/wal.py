@@ -12,16 +12,45 @@ how many records preceded it, and recovery replays ``records(start)``
 from there. Decoding always goes back through the codec bytes — every
 recovery therefore exercises the full encode/decode round-trip that the
 hypothesis properties pin.
+
+Loading a journal returns a :class:`WalLoadReport` alongside the WAL:
+whether the tail was torn, where the tear sits, and a lower-bound
+estimate of the records lost past it (counted on the
+``repro.persist.wal.torn_records`` counter). The report is truthy
+exactly when the tail was torn.
 """
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
 
 from ..obs.metrics import NULL_REGISTRY
-from .codec import decode_wal, encode_record
+from .codec import decode_wal, encode_record, estimate_torn_records, iter_frames
 
-__all__ = ["WriteAheadLog"]
+__all__ = ["WalLoadReport", "WriteAheadLog"]
+
+
+@dataclass(frozen=True)
+class WalLoadReport:
+    """What loading a journal found: clean prefix, tear, loss estimate.
+
+    ``dropped_records`` is exact when the damage was applied in-process
+    (crash injection knows what it cut) and a lower-bound header-scan
+    estimate when the bytes arrived from outside (``from_bytes``/
+    ``load``) — a corrupt length field makes exact re-framing of the
+    garbage region impossible.
+    """
+
+    torn: bool
+    clean_bytes: int
+    total_bytes: int
+    records: int
+    tear_offset: Optional[int] = None
+    dropped_records: int = 0
+
+    def __bool__(self) -> bool:
+        return self.torn
 
 
 class WriteAheadLog:
@@ -35,6 +64,8 @@ class WriteAheadLog:
         #: fsync-equivalent: every framed append is made durable before
         #: the handler's ACK leaves (group commit would batch these).
         self._m_flushes = metrics.counter("repro.persist.wal.flushes")
+        #: records lost to torn tails / dropped flushes (load + injection).
+        self._m_torn = metrics.counter("repro.persist.wal.torn_records")
 
     @property
     def position(self) -> int:
@@ -71,22 +102,79 @@ class WriteAheadLog:
             pass
         return decoded[start:]
 
+    def frame_boundaries(self) -> List[int]:
+        """End offset of each clean frame (for crash-injection cuts)."""
+        return [end for end, _ in iter_frames(bytes(self._buf))]
+
     def to_bytes(self) -> bytes:
         """The raw journal (what a crash leaves on the durable medium)."""
         return bytes(self._buf)
 
+    # -- crash injection ----------------------------------------------------
+
+    def damage_truncate(self, cut_bytes: int) -> int:
+        """Expose only the first ``cut_bytes`` of the journal (torn tail).
+
+        Keeps the clean frame prefix of the cut buffer; returns the
+        exact number of whole records lost. Models a crash that caught
+        the medium mid-write.
+        """
+        buf = bytes(self._buf[:cut_bytes])
+        records, clean, _ = decode_wal(buf)
+        dropped = self._count - len(records)
+        self._buf = bytearray(buf[:clean])
+        self._count = len(records)
+        if dropped > 0:
+            self._m_torn.inc(dropped)
+        return dropped
+
+    def damage_drop_records(self, n: int) -> int:
+        """Drop the last ``n`` whole records (lost flushes, clean cut).
+
+        The nastier failure mode: the journal still decodes cleanly, so
+        only digest/ledger machinery above can notice anything is gone.
+        Returns the number of records actually dropped.
+        """
+        keep = max(0, self._count - n)
+        if keep == self._count:
+            return 0
+        boundaries = self.frame_boundaries()
+        cut = boundaries[keep - 1] if keep else 0
+        dropped = self._count - keep
+        self._buf = bytearray(self._buf[:cut])
+        self._count = keep
+        self._m_torn.inc(dropped)
+        return dropped
+
+    # -- serialisation ------------------------------------------------------
+
     @classmethod
-    def from_bytes(cls, buf: bytes, metrics=NULL_REGISTRY) -> Tuple["WriteAheadLog", bool]:
+    def from_bytes(
+        cls, buf: bytes, metrics=NULL_REGISTRY
+    ) -> Tuple["WriteAheadLog", WalLoadReport]:
         """Rebuild a WAL from raw bytes, dropping any torn tail.
 
-        Returns ``(wal, torn)``; the rebuilt journal holds only the
-        clean prefix, so subsequent appends extend a valid log.
+        Returns ``(wal, report)``; the rebuilt journal holds only the
+        clean prefix, so subsequent appends extend a valid log. The
+        report (truthy iff torn) carries the tear offset and a
+        lower-bound estimate of the records lost past it.
         """
         records, clean, torn = decode_wal(buf)
         wal = cls(metrics=metrics)
         wal._buf.extend(buf[:clean])
         wal._count = len(records)
-        return wal, torn
+        dropped = estimate_torn_records(buf, clean) if torn else 0
+        if dropped > 0:
+            wal._m_torn.inc(dropped)
+        report = WalLoadReport(
+            torn=torn,
+            clean_bytes=clean,
+            total_bytes=len(buf),
+            records=len(records),
+            tear_offset=clean if torn else None,
+            dropped_records=dropped,
+        )
+        return wal, report
 
     def save(self, path) -> int:
         """Write the journal to ``path``; returns bytes written."""
@@ -96,7 +184,9 @@ class WriteAheadLog:
         return len(data)
 
     @classmethod
-    def load(cls, path, metrics=NULL_REGISTRY) -> Tuple["WriteAheadLog", bool]:
+    def load(
+        cls, path, metrics=NULL_REGISTRY
+    ) -> Tuple["WriteAheadLog", WalLoadReport]:
         """Read a journal file back (torn-tail tolerant)."""
         with open(path, "rb") as fh:
             return cls.from_bytes(fh.read(), metrics=metrics)

@@ -41,6 +41,7 @@ Fault tolerance (this layer's contract with unreliable clients):
 
 from __future__ import annotations
 
+import bisect
 import pickle
 from collections import deque
 from dataclasses import replace
@@ -316,12 +317,25 @@ class BackendServer:
             if record.seq is not None:
                 # The bounded lane's service accounting happened at
                 # service start; re-apply it from the record before the
-                # commit itself.
-                self._service_order.append(record.seq)
-                self._queue_wait_total += record.wait_s
-                self._h_queue_wait.record(record.wait_s)
-                self._service_time_total += record.service_s
-                self._h_service.record(record.service_s)
+                # commit itself — unless the snapshot already captured
+                # it (service started before the checkpoint, commit
+                # landed after), in which case re-applying would
+                # duplicate the seq in the start-order audit log and
+                # double-count the wait/service totals. Seqs strictly
+                # increase with service-start order while commits can
+                # land out of start order with >1 worker, so a sorted
+                # insert reconstructs the true start order.
+                pos = bisect.bisect_left(self._service_order, record.seq)
+                already_started = (
+                    pos < len(self._service_order)
+                    and self._service_order[pos] == record.seq
+                )
+                if not already_started:
+                    self._service_order.insert(pos, record.seq)
+                    self._queue_wait_total += record.wait_s
+                    self._h_queue_wait.record(record.wait_s)
+                    self._service_time_total += record.service_s
+                    self._h_service.record(record.service_s)
             self._process(
                 PhotoBatch(
                     client_id=record.client_id,

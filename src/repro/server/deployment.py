@@ -79,6 +79,10 @@ class DeploymentReport:
     backend_recoveries: int = 0
     wal_records: int = 0
     snapshots_taken: int = 0
+    # -- storage-fault accounting (all zero with pristine media) --
+    wal_records_torn: int = 0
+    snapshots_quarantined: int = 0
+    recovery_fallbacks: int = 0
 
     @property
     def baseline_view(self) -> tuple:
@@ -141,8 +145,18 @@ class Deployment:
         # the persistence-off object graph (and its event trace) stays
         # byte-for-byte the pre-durability one.
         persist_config = bench.config.persist
+        # The storage-fault RNG is only materialised when injection is
+        # armed, so pristine-media deployments draw nothing new and
+        # their traces stay byte-for-byte identical.
+        storage_rng = (
+            bench.rng.stream("deploy-storage-faults")
+            if persist_config.enabled
+            and persist_config.storage_faults is not None
+            and persist_config.storage_faults.enabled
+            else None
+        )
         self._host: Optional[BackendHost] = (
-            BackendHost(server, self.simulator, persist_config)
+            BackendHost(server, self.simulator, persist_config, storage_rng=storage_rng)
             if persist_config.enabled
             else None
         )
@@ -293,5 +307,20 @@ class Deployment:
             backend_crashes=self._host.crash_count if self._host else 0,
             backend_recoveries=self._host.recovery_count if self._host else 0,
             wal_records=self._host.wal.position if self._host else 0,
-            snapshots_taken=self._host.snapshotter.count if self._host else 0,
+            snapshots_taken=self._host.snapshotter.taken if self._host else 0,
+            wal_records_torn=sum(
+                r.wal_dropped_records for r in self._host.storage_fault_reports
+            )
+            if self._host
+            else 0,
+            snapshots_quarantined=sum(
+                len(a.quarantined_seqs) for a in self._host.recovery_audits
+            )
+            if self._host
+            else 0,
+            recovery_fallbacks=sum(
+                1 for a in self._host.recovery_audits if a.fallback
+            )
+            if self._host
+            else 0,
         )

@@ -135,6 +135,7 @@ def _fuzz_campaign_task(spec: dict) -> dict:
         check_determinism=spec.get("check_determinism", True),
         scratch_twin_every=spec.get("scratch_twin_every", 0),
         crashes=spec.get("crashes", False),
+        storage_faults=spec.get("storage_faults", False),
         progress=lines.append,
     )
     registry.counter("repro.executor.campaigns").inc()
@@ -229,8 +230,15 @@ def _recover_run_task(spec: dict) -> dict:
     from ..server import Deployment
 
     if spec.get("crashed"):
+        from ..persist import StorageFaultConfig
+
+        storage_spec = spec.get("storage_faults")
         config = paper_config(seed=spec["seed"]).with_persistence(
-            snapshot_every_batches=spec["snapshot_every"]
+            snapshot_every_batches=spec["snapshot_every"],
+            snapshot_retain=spec.get("snapshot_retain", 3),
+            storage_faults=(
+                StorageFaultConfig(**storage_spec) if storage_spec else None
+            ),
         )
         faults = _dc.replace(
             config.network.faults,
@@ -247,10 +255,28 @@ def _recover_run_task(spec: dict) -> dict:
                 "dropped_remnants": rec.dropped_remnants,
                 "armed_leases": rec.armed_leases,
                 "audit_ok": rec.audit_ok,
+                "generations_tried": rec.generations_tried,
+                "quarantined_seqs": list(rec.quarantined_seqs),
+                "quarantine_reasons": list(rec.quarantine_reasons),
+                "quarantined_bytes": rec.quarantined_bytes,
+                "fallback": rec.fallback,
             }
             for rec in host.recovery_audits
         ]
-        return {"report": _dc.asdict(report), "audits": audits}
+        storage_reports = [
+            {
+                "wal_torn": r.wal_torn,
+                "wal_dropped_records": r.wal_dropped_records,
+                "damaged_snapshot_seqs": list(r.damaged_snapshot_seqs),
+                "damage_modes": list(r.damage_modes),
+            }
+            for r in host.storage_fault_reports
+        ]
+        return {
+            "report": _dc.asdict(report),
+            "audits": audits,
+            "storage": storage_reports,
+        }
     bench = Workbench.for_library(paper_config(seed=spec["seed"]))
     report = Deployment(bench, n_clients=spec["clients"]).run(until_s=spec["until"])
     return {"report": _dc.asdict(report), "audits": []}

@@ -46,6 +46,7 @@ def derive_scenario(
     mutation: Optional[str] = None,
     scratch_twin_every: int = 0,
     crashes: bool = False,
+    storage_faults: bool = False,
 ) -> Tuple[int, Scenario]:
     """Derive campaign ``index``'s ``(seed, scenario)`` — pure, no run.
 
@@ -64,7 +65,9 @@ def derive_scenario(
         seed = scenario.seed
     else:
         scenario = Scenario.sample(seed)
-    if crashes:
+    if storage_faults:
+        scenario = scenario.with_storage_faults()
+    elif crashes:
         scenario = scenario.with_crashes()
     if scratch_twin_every and index % scratch_twin_every == 0:
         scenario = replace(scenario, scratch_twin=True)
@@ -190,6 +193,7 @@ def run_campaign(
     check_determinism: bool = True,
     scratch_twin_every: int = 0,
     crashes: bool = False,
+    storage_faults: bool = False,
     progress: Optional[ProgressFn] = None,
 ) -> CampaignOutcome:
     """Run fuzz campaign ``index`` — a pure function of its arguments.
@@ -200,7 +204,7 @@ def run_campaign(
     """
     say = progress or (lambda line: None)
     seed, scenario = derive_scenario(
-        master_seed, index, mutation, scratch_twin_every, crashes
+        master_seed, index, mutation, scratch_twin_every, crashes, storage_faults
     )
     say(f"campaign {index + 1}/{campaigns} seed={seed}: {scenario.describe()}")
     result = run_scenario(
@@ -224,6 +228,7 @@ def crashed_outcome(
     mutation: Optional[str] = None,
     scratch_twin_every: int = 0,
     crashes: bool = False,
+    storage_faults: bool = False,
 ) -> CampaignOutcome:
     """Synthesise the outcome for a campaign whose worker died mid-run.
 
@@ -232,7 +237,7 @@ def crashed_outcome(
     took its in-flight state down with it.
     """
     seed, scenario = derive_scenario(
-        master_seed, index, mutation, scratch_twin_every, crashes
+        master_seed, index, mutation, scratch_twin_every, crashes, storage_faults
     )
     result = CampaignResult(
         scenario=scenario,
@@ -302,6 +307,7 @@ def run_fuzz(
     check_determinism: bool = True,
     scratch_twin_every: int = 0,
     crashes: bool = False,
+    storage_faults: bool = False,
     artifact_dir: Optional[Union[str, Path]] = None,
     max_failures: int = 3,
     progress: Optional[ProgressFn] = None,
@@ -317,7 +323,10 @@ def run_fuzz(
     doubles that campaign's cost). ``crashes=True`` forces a seeded
     backend crash-restart schedule (plus persistence) onto every
     sampled scenario, concentrating the batch on the durability
-    subsystem. Stops early after ``max_failures`` distinct failures;
+    subsystem; ``storage_faults=True`` goes further and also arms the
+    storage damage axes (implies the forced crash schedule), aiming the
+    batch at the recovery ladder. Stops early after ``max_failures``
+    distinct failures;
     each failure is shrunk and (when ``artifact_dir`` is set) written
     as a replayable artifact.
 
@@ -347,6 +356,7 @@ def run_fuzz(
                 check_determinism=check_determinism,
                 scratch_twin_every=scratch_twin_every,
                 crashes=crashes,
+                storage_faults=storage_faults,
                 progress=say,
             )
             if _merge_outcome(
@@ -366,6 +376,7 @@ def run_fuzz(
             "check_determinism": check_determinism,
             "scratch_twin_every": scratch_twin_every,
             "crashes": crashes,
+            "storage_faults": storage_faults,
             **({"selftest_exit": True} if index in set(_kill_indices) else {}),
         }
         for index in range(campaigns)
@@ -391,6 +402,7 @@ def run_fuzz(
                     mutation=mutation,
                     scratch_twin_every=scratch_twin_every,
                     crashes=crashes,
+                    storage_faults=storage_faults,
                 )
                 index = outcome.index
                 say(

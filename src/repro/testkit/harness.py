@@ -18,6 +18,13 @@ Failure classes:
   final coverage / task outcome than its crash-free same-seed twin
   (only checked when :attr:`Scenario.crash_twin_eligible`).
 
+One non-failure deserves its own label: a storage-fault campaign whose
+crash damaged *every* retained snapshot generation fails closed with
+:class:`~repro.errors.UnrecoverableStateError`. That is the recovery
+ladder doing exactly its job — refusing to restore untrustworthy state
+— so the run counts as ``ok`` with label ``fail-closed`` (the same
+exception *without* storage faults armed is still a ``crash`` finding).
+
 Every run is instrumented with an enabled :class:`Telemetry` bundle so
 the determinism check covers the metrics registry and span trace, not
 just the final report — telemetry is pinned inert by the obs
@@ -30,6 +37,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Tuple
 
+from ..errors import UnrecoverableStateError
 from ..obs import Telemetry
 from .digests import (
     diff_projections,
@@ -58,11 +66,14 @@ class CampaignResult:
     determinism_detail: Optional[str] = None
     checks_run: int = 0
     checkpoints_run: int = 0
+    #: storage faults destroyed every generation and recovery refused to
+    #: restore — an *ok* outcome with its own label (see module docstring).
+    fail_closed: bool = False
 
     @property
     def label(self) -> str:
         if self.ok:
-            return "ok"
+            return "fail-closed" if self.fail_closed else "ok"
         if self.failure_kind == "invariant" and self.violation is not None:
             return f"invariant:{self.violation.invariant}"
         return self.failure_kind or "unknown"
@@ -104,6 +115,24 @@ def run_scenario(
             ok=False,
             failure_kind="invariant",
             violation=exc.violation,
+        )
+    except UnrecoverableStateError as exc:
+        if scenario.storage_faults_enabled:
+            # Every retained generation was damaged and recovery refused
+            # to restore: failing closed is the correct outcome, and the
+            # quarantine report documents it. No report exists, so the
+            # twin/determinism checks are skipped.
+            return CampaignResult(
+                scenario=scenario,
+                ok=True,
+                fail_closed=True,
+                crash=f"{type(exc).__name__}: {exc}",
+            )
+        return CampaignResult(
+            scenario=scenario,
+            ok=False,
+            failure_kind="crash",
+            crash=f"{type(exc).__name__}: {exc}",
         )
     except Exception as exc:  # noqa: BLE001 — any escape from the sim is a finding
         return CampaignResult(

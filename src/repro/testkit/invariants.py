@@ -88,6 +88,7 @@ class InvariantRegistry:
         "coverage-monotonicity",
         "admission-bound",
         "recovery-idempotency",
+        "recovery-integrity",
     )
     #: Names of the checkpointed incremental-vs-oracle invariants.
     CHECKPOINT_INVARIANTS = (
@@ -111,6 +112,13 @@ class InvariantRegistry:
         #: batch_id -> (result index, sim time first observed committed).
         self._seen_batch_ids: Dict[str, "tuple[int, float]"] = {}
         self._audits_seen = 0  # consumed prefix of host.recovery_audits
+        self._fault_reports_seen = 0  # consumed prefix of storage_fault_reports
+        #: Snapshot generations the injector damaged and recovery has not
+        #: yet quarantined (recovery-integrity bookkeeping).
+        self._damaged_seqs: set = set()
+        #: ACKed WAL records were destroyed since the last recovery; the
+        #: next recovery legitimately rolls observable state back.
+        self._wal_loss_pending = False
         self._service_cursor = 0  # consumed prefix of the FIFO audit log
         self._last_service_seq = 0
         self._last_raw_points = 0
@@ -149,11 +157,15 @@ class InvariantRegistry:
 
     def _on_event(self, token) -> None:
         self.checks_run += 1
+        # Recovery bookkeeping first: it audits fresh recoveries
+        # (idempotency + ladder integrity) and — after a legitimate
+        # WAL-data-loss rollback — rebases the incremental cursors the
+        # later checks compare against.
+        self._note_recoveries(token)
         self._check_lease_exclusivity(token)
         new_batches = self._check_ledger_idempotency(token)
         self._check_coverage_monotonicity(token)
         self._check_admission_bound(token)
-        self._check_recovery_idempotency(token)
         if new_batches and self.oracle_checks:
             self._batches_since_checkpoint += new_batches
             if self._batches_since_checkpoint >= self.checkpoint_every:
@@ -379,18 +391,44 @@ class InvariantRegistry:
             )
         self._covered_latched = covered
 
-    def _check_recovery_idempotency(self, token) -> None:
-        """Every crash recovery must pass its double-restore digest audit.
+    def _note_recoveries(self, token) -> None:
+        """Audit fresh crashes and recoveries (two invariants + rebasing).
 
-        With ``audit_recovery`` on (the default), each restart restores
-        the state twice from the same snapshot + WAL suffix and digests
-        both. A digest mismatch means recovery is not a pure function of
-        the durable media — replaying it again (or on another host)
-        would yield a different backend.
+        **recovery-idempotency** — with ``audit_recovery`` on (the
+        default), each restart restores the state twice from the same
+        snapshot + WAL suffix and digests both. A digest mismatch means
+        recovery is not a pure function of the durable media — replaying
+        it again (or on another host) would yield a different backend.
+
+        **recovery-integrity** — the verify-then-fallback ladder must
+        make exactly the right quarantine calls against the injector's
+        ground truth (``host.storage_fault_reports``): every generation
+        it restored from must be undamaged, every generation it
+        quarantined must actually have been damaged, and no damaged
+        generation newer than the chosen one may survive unquarantined.
+        This is the check that catches a recovery that skips (or fakes)
+        digest verification.
+
+        After a recovery that follows genuine WAL data loss (torn tail /
+        dropped flushes destroyed acknowledged records), the observable
+        state legitimately rolls back: completed ledger entries vanish,
+        the registered cloud shrinks, admission seqs are reissued. The
+        incremental cursors are rebased onto the recovered state so the
+        rolled-back timeline is checked on its own terms; the system
+        must still self-heal from it without violating any invariant.
         """
         host = getattr(self._deployment, "host", None)
         if host is None:
             return
+        reports = host.storage_fault_reports
+        wal_loss = False
+        for report in reports[self._fault_reports_seen:]:
+            self._damaged_seqs.update(report.damaged_snapshot_seqs)
+            if report.wal_dropped_records > 0:
+                wal_loss = True
+        self._fault_reports_seen = len(reports)
+        if wal_loss:
+            self._wal_loss_pending = True
         audits = host.recovery_audits
         for result in audits[self._audits_seen:]:
             if not result.audit_ok:
@@ -402,7 +440,64 @@ class InvariantRegistry:
                     f"records replayed): {result.digest[:12]} != "
                     f"{(result.audit_digest or '')[:12]}",
                 )
+            quarantined = set(result.quarantined_seqs)
+            false_quarantine = quarantined - self._damaged_seqs
+            if false_quarantine:
+                self._fail(
+                    token,
+                    "recovery-integrity",
+                    f"recovery quarantined undamaged snapshot generation(s) "
+                    f"{sorted(false_quarantine)} (verification rejects clean "
+                    f"media)",
+                )
+            if result.snapshot_seq in self._damaged_seqs:
+                self._fail(
+                    token,
+                    "recovery-integrity",
+                    f"recovery restored from damaged snapshot generation "
+                    f"#{result.snapshot_seq} (digest verification bypassed "
+                    f"or broken)",
+                )
+            self._damaged_seqs -= quarantined
+            # Generations pruned by retention can never be restored
+            # from; stop tracking their damage.
+            retained = {s.seq for s in host.snapshotter.generations()}
+            self._damaged_seqs &= retained
+            missed = {s for s in self._damaged_seqs if s > result.snapshot_seq}
+            if missed:
+                self._fail(
+                    token,
+                    "recovery-integrity",
+                    f"recovery restored from generation #{result.snapshot_seq} "
+                    f"but left newer damaged generation(s) {sorted(missed)} "
+                    f"unquarantined",
+                )
+            if self._wal_loss_pending:
+                self._rebase_cursors()
+                self._wal_loss_pending = False
         self._audits_seen = len(audits)
+
+    def _rebase_cursors(self) -> None:
+        """Re-anchor incremental cursors after a data-loss rollback."""
+        server = self._server
+        pipeline = self._pipeline
+        store = server.store
+        results = server.results
+        self._seen_results = len(results)
+        # Keep tracking only batches whose dedup protection still exists;
+        # entries destroyed with the lost WAL suffix were never recovered,
+        # so their vanishing is the rollback itself, not a GC bug.
+        self._seen_batch_ids = {
+            bid: seen
+            for bid, seen in self._seen_batch_ids.items()
+            if server.ledger_contains(bid) or store.archived_batch(bid) is not None
+        }
+        self._last_raw_points = len(pipeline.model().cloud)
+        self._last_iteration = pipeline.iteration
+        self._covered_latched = pipeline.venue_covered
+        order = server.sfm_service_order()
+        self._service_cursor = len(order)
+        self._last_service_seq = order[-1] if order else 0
 
     # ------------------------------------------------------------------
     # checkpoint invariants (incremental vs from-scratch oracles)

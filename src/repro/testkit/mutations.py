@@ -158,6 +158,34 @@ def _skip_map_dirty_marking():
     return _patched(IncrementalMapEngine, "_mark_dirty", factory)
 
 
+# ----------------------------------------------------------------------
+# skip-digest-verify: the recovery ladder stops verifying snapshot seals
+# ----------------------------------------------------------------------
+
+
+def _skip_digest_verify():
+    """Recovery trusts every generation's seal without verification.
+
+    The ladder's whole job is refusing to restore a damaged checkpoint;
+    with ``_verify`` pinned to "fine", recovery restores the *newest*
+    generation even when the storage fault injector just corrupted it —
+    silently resurrecting tampered or truncated state instead of falling
+    back to an older verified generation (or failing closed). The
+    recovery-integrity invariant compares the restored generation
+    against the injector's ground-truth damage report at the first
+    post-restart event and fails the run there.
+    """
+    from ..persist.recovery import RecoveryManager
+
+    def factory(original):
+        def _verify(self, snapshot):
+            return None  # every generation "verifies clean"
+
+        return _verify
+
+    return _patched(RecoveryManager, "_verify", factory)
+
+
 MUTATIONS: Dict[str, Mutation] = {
     mutation.name: mutation
     for mutation in (
@@ -185,6 +213,13 @@ MUTATIONS: Dict[str, Mutation] = {
             expected_invariant="admission-bound",
             patch=_skip_admission_bound,
             probe=lambda: overload_probe(),
+        ),
+        Mutation(
+            name="skip-digest-verify",
+            description="recovery restores snapshots without seal verification",
+            expected_invariant="recovery-integrity",
+            patch=_skip_digest_verify,
+            probe=lambda: storage_probe(),
         ),
     )
 }
@@ -254,6 +289,46 @@ def overload_probe():
         max_tasks=3,
         sfm_workers=1,
         sfm_queue_limit=0,
+        until_s=6000.0,
+        checkpoint_every=2,
+    )
+
+
+def storage_probe():
+    """A scenario crafted to crash onto damaged storage media.
+
+    Random scenarios arm the storage axes rarely and dilute them with
+    partial probabilities, so ``skip-digest-verify`` could survive a
+    sampled campaign whose damage happened to miss the restored
+    generation. This scenario forces the trigger deterministically:
+    ``snapshot_corruption=1.0`` damages **every** retained generation at
+    the crash, so the healthy ladder must quarantine them all and fail
+    closed (an ``ok`` fail-closed outcome), while the mutated ladder
+    restores the newest damaged generation — which the
+    recovery-integrity invariant fails against the injector's ground
+    truth at the first post-restart event. ``snapshot_every=1`` builds
+    several generations before the crash; a single lossless client keeps
+    the rest of the run boring.
+
+    Mutation-mode fuzzing for ``skip-digest-verify`` runs this as
+    campaign 0.
+    """
+    from .scenario import Scenario
+
+    return Scenario(
+        seed=5,
+        venue_seed=11,
+        venue_width_m=8.0,
+        venue_depth_m=7.0,
+        glass_walls=1,
+        n_furniture=1,
+        n_hotspots=2,
+        n_clients=1,
+        backend_crashes=((900.0, 30.0),),
+        persist=True,
+        snapshot_every=1,
+        snapshot_retain=3,
+        snapshot_corruption=1.0,
         until_s=6000.0,
         checkpoint_every=2,
     )

@@ -16,6 +16,7 @@ from dataclasses import asdict, dataclass, replace
 from typing import Dict, Optional, Tuple
 
 from ..config import BackendConfig, FaultConfig, SnapTaskConfig, paper_config
+from ..persist.faults import StorageFaultConfig
 from ..simkit.rng import RngStream
 
 #: Artifact schema version for serialised scenarios.
@@ -56,6 +57,14 @@ class Scenario:
     persist: bool = False
     #: Snapshot cadence in committed photo batches.
     snapshot_every: int = 8
+    #: Checkpoint generations retained (newest N + genesis).
+    snapshot_retain: int = 3
+    # -- storage fault axes (per-crash damage probabilities; require
+    #    backend_crashes, drawn from the independent "storage" child so
+    #    existing seeds' scenarios are unperturbed) --
+    wal_torn_tail: float = 0.0
+    wal_dropped_flush: float = 0.0
+    snapshot_corruption: float = 0.0
     # -- protocol / batch-size parameters --
     lease_duration_s: float = 600.0
     rto_initial_s: float = 4.0
@@ -92,6 +101,10 @@ class Scenario:
         backend = rng.child("backend")
         # Same trick again for the durability axes (PR-8).
         crashes = rng.child("crashes")
+        # And once more for the storage fault axes: media damage draws
+        # come from their own child, so arming them never perturbs the
+        # crash schedules (or anything else) of existing seeds.
+        storage = rng.child("storage")
 
         n_clients = crowd.integers(1, 5)
         dropouts: Tuple[Tuple[str, float], ...] = ()
@@ -142,6 +155,24 @@ class Scenario:
             persist = True
             snapshot_every = int(crashes.choice([1, 2, 4, 8]))
 
+        snapshot_retain = 3
+        wal_torn_tail = 0.0
+        wal_dropped_flush = 0.0
+        snapshot_corruption = 0.0
+        if backend_crashes and storage.chance(0.35):
+            # Storage-fault campaign: the crash also damages the media.
+            snapshot_retain = int(storage.choice([1, 2, 3, 4]))
+            if storage.chance(0.6):
+                snapshot_corruption = round(storage.uniform(0.2, 1.0), 4)
+            if storage.chance(0.3):
+                wal_torn_tail = round(storage.uniform(0.2, 1.0), 4)
+            if storage.chance(0.3):
+                wal_dropped_flush = round(storage.uniform(0.2, 1.0), 4)
+            if not (snapshot_corruption or wal_torn_tail or wal_dropped_flush):
+                # At least one mechanism must be armed for the campaign
+                # to actually exercise the recovery ladder.
+                snapshot_corruption = round(storage.uniform(0.2, 1.0), 4)
+
         return cls(
             seed=seed,
             venue_seed=venue.integers(0, 2**31),
@@ -166,6 +197,10 @@ class Scenario:
             backend_crashes=backend_crashes,
             persist=persist,
             snapshot_every=snapshot_every,
+            snapshot_retain=snapshot_retain,
+            wal_torn_tail=wal_torn_tail,
+            wal_dropped_flush=wal_dropped_flush,
+            snapshot_corruption=snapshot_corruption,
             lease_duration_s=float(proto.choice([120.0, 300.0, 600.0])),
             rto_initial_s=float(proto.choice([2.0, 4.0])),
             upload_subbatch=int(proto.choice([15, 30, 45])),
@@ -205,9 +240,20 @@ class Scenario:
         )
         if self.persist or self.backend_crashes:
             config = config.with_persistence(
-                snapshot_every_batches=self.snapshot_every
+                snapshot_every_batches=self.snapshot_every,
+                snapshot_retain=self.snapshot_retain,
+                storage_faults=self.make_storage_faults(),
             )
         return config.validate()
+
+    def make_storage_faults(self) -> Optional[StorageFaultConfig]:
+        """The storage damage config, or None with all axes at zero."""
+        faults = StorageFaultConfig(
+            wal_torn_tail=self.wal_torn_tail,
+            wal_dropped_flush=self.wal_dropped_flush,
+            snapshot_corruption=self.snapshot_corruption,
+        )
+        return faults if faults.enabled else None
 
     def make_faults(self) -> Optional[FaultConfig]:
         faults = FaultConfig(
@@ -277,6 +323,46 @@ class Scenario:
             snapshot_every=int(rng.choice([1, 2, 4, 8])),
         )
 
+    def with_storage_faults(self) -> "Scenario":
+        """Force storage damage at crashes (``repro fuzz --storage-faults``).
+
+        Ensures a crash schedule exists (via :meth:`with_crashes`), then
+        arms the media damage axes from a dedicated stream of this
+        scenario's seed. Snapshot corruption is always armed (the
+        recovery ladder's headline case); the WAL-loss axes join with
+        moderate probability since they forfeit crash-twin eligibility.
+        """
+        base = self.with_crashes()
+        if base.storage_faults_enabled:
+            return base
+        rng = RngStream(self.seed, "testkit/forced-storage")
+        return replace(
+            base,
+            snapshot_retain=int(rng.choice([2, 3, 4])),
+            # Moderate corruption keeps a healthy mix of outcomes: early
+            # crashes retain few generations, so a high probability here
+            # would fail-close most campaigns instead of exercising the
+            # older-generation fallback + post-recovery behaviour.
+            snapshot_corruption=round(rng.uniform(0.3, 0.8), 4),
+            wal_torn_tail=(
+                round(rng.uniform(0.2, 0.8), 4) if rng.chance(0.3) else 0.0
+            ),
+            wal_dropped_flush=(
+                round(rng.uniform(0.2, 0.8), 4) if rng.chance(0.3) else 0.0
+            ),
+        )
+
+    @property
+    def storage_faults_enabled(self) -> bool:
+        return bool(
+            self.wal_torn_tail or self.wal_dropped_flush or self.snapshot_corruption
+        )
+
+    @property
+    def loses_wal_data(self) -> bool:
+        """Whether crashes can destroy acknowledged WAL records."""
+        return bool(self.wal_torn_tail or self.wal_dropped_flush)
+
     @property
     def crash_twin_eligible(self) -> bool:
         """Whether the crash-free twin must converge identically.
@@ -287,6 +373,14 @@ class Scenario:
         every subsequent event. With a single client and no link faults
         the retry timeline is itself deterministic and the recovered
         campaign must reach the crash-free twin's converged state.
+
+        Snapshot corruption keeps eligibility — the WAL holds everything
+        from genesis, so the ladder's older-generation fallback must
+        reach the *same* state with a longer replay. WAL damage does
+        not: torn tails and dropped flushes destroy acknowledged records
+        that clients will never retransmit, so state equivalence is
+        impossible by construction (the system self-heals at the task
+        level via lease expiry instead).
         """
         return bool(
             self.backend_crashes
@@ -297,6 +391,7 @@ class Scenario:
             and not self.disconnect_windows
             and not self.dropouts
             and not self.dropout_hazard
+            and not self.loses_wal_data
         )
 
     # ------------------------------------------------------------------
@@ -351,6 +446,15 @@ class Scenario:
             )
         elif self.persist:
             fault_bits.append(f"persist snap={self.snapshot_every}")
+        if self.storage_faults_enabled:
+            storage_bits = [f"retain={self.snapshot_retain}"]
+            if self.snapshot_corruption:
+                storage_bits.append(f"corrupt={self.snapshot_corruption:.2f}")
+            if self.wal_torn_tail:
+                storage_bits.append(f"tear={self.wal_torn_tail:.2f}")
+            if self.wal_dropped_flush:
+                storage_bits.append(f"unflushed={self.wal_dropped_flush:.2f}")
+            fault_bits.append(f"storage[{' '.join(storage_bits)}]")
         return (
             f"venue {self.venue_width_m:.0f}x{self.venue_depth_m:.0f}m "
             f"clients={self.n_clients} lease={self.lease_duration_s:.0f}s "

@@ -67,6 +67,13 @@ def _clients_for(s: Scenario, n: int) -> Scenario:
     return replace(s, n_clients=n, dropouts=keep)
 
 
+def _no_storage(s: Scenario) -> Scenario:
+    """Zero the storage damage axes (inert without a crash schedule)."""
+    return replace(
+        s, wal_torn_tail=0.0, wal_dropped_flush=0.0, snapshot_corruption=0.0
+    )
+
+
 def _candidates(s: Scenario) -> List[Tuple[str, Scenario]]:
     """All reduction candidates for one greedy round, simplest-win first."""
     out: List[Tuple[str, Scenario]] = []
@@ -93,17 +100,28 @@ def _candidates(s: Scenario) -> List[Tuple[str, Scenario]]:
                 out.append(
                     (f"drop disconnect #{i}", replace(s, disconnect_windows=kept))
                 )
+    # -- storage damage: zeroing an axis separates media-damage bugs
+    #    from plain crash-recovery bugs (whole-axis cuts, like faults) --
+    if s.snapshot_corruption:
+        out.append(("snapshot_corruption=0", replace(s, snapshot_corruption=0.0)))
+    if s.wal_torn_tail:
+        out.append(("wal_torn_tail=0", replace(s, wal_torn_tail=0.0)))
+    if s.wal_dropped_flush:
+        out.append(("wal_dropped_flush=0", replace(s, wal_dropped_flush=0.0)))
     # -- durability: no crashes + no persistence is the biggest cut; a
     #    persistence-only repro (crashes gone, WAL/snapshots still on)
-    #    separates recovery bugs from bookkeeping bugs --
+    #    separates recovery bugs from bookkeeping bugs. Dropping the
+    #    crashes also drops the storage axes (they only act at crashes).
     if s.backend_crashes:
         out.append(
             (
                 "backend_crashes=() persist=False",
-                replace(s, backend_crashes=(), persist=False),
+                _no_storage(replace(s, backend_crashes=(), persist=False)),
             )
         )
-        out.append(("backend_crashes=()", replace(s, backend_crashes=())))
+        out.append(
+            ("backend_crashes=()", _no_storage(replace(s, backend_crashes=())))
+        )
         if len(s.backend_crashes) > 1:
             for i in range(len(s.backend_crashes)):
                 kept = s.backend_crashes[:i] + s.backend_crashes[i + 1:]
@@ -112,6 +130,8 @@ def _candidates(s: Scenario) -> List[Tuple[str, Scenario]]:
         out.append(("persist=False", replace(s, persist=False)))
     if (s.persist or s.backend_crashes) and s.snapshot_every != 8:
         out.append(("snapshot_every=8", replace(s, snapshot_every=8)))
+    if (s.persist or s.backend_crashes) and s.snapshot_retain != 3:
+        out.append(("snapshot_retain=3", replace(s, snapshot_retain=3)))
     # -- crowd size --
     if s.n_clients > 1:
         out.append(("n_clients=1", _clients_for(s, 1)))

@@ -367,6 +367,7 @@ class TestAdmissionMutation:
             "leak-completed-lease",
             "skip-map-dirty-marking",
             "skip-admission-bound",
+            "skip-digest-verify",
         }
         mutation = MUTATIONS["skip-admission-bound"]
         assert mutation.expected_invariant == "admission-bound"

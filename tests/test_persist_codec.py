@@ -97,8 +97,13 @@ class TestRoundTrip:
         for record in records:
             wal.append(record)
         assert wal.position == len(records)
-        rebuilt, torn = WriteAheadLog.from_bytes(wal.to_bytes())
-        assert not torn
+        rebuilt, report = WriteAheadLog.from_bytes(wal.to_bytes())
+        assert not report
+        assert not report.torn
+        assert report.records == len(records)
+        assert report.tear_offset is None
+        assert report.dropped_records == 0
+        assert report.clean_bytes == report.total_bytes == wal.size_bytes
         assert rebuilt.records() == records
         # Positions slice mid-journal.
         assert rebuilt.records(start=1) == records[1:]
@@ -131,8 +136,13 @@ class TestTornTail:
     def test_truncated_wal_accepts_new_appends(self):
         """Recovery trims the tear; the journal must stay appendable."""
         records, buf = self._journal()
-        wal, torn = WriteAheadLog.from_bytes(buf[:-3])
-        assert torn
+        wal, report = WriteAheadLog.from_bytes(buf[:-3])
+        assert report
+        assert report.torn
+        assert report.records == len(records) - 1
+        assert report.tear_offset == report.clean_bytes < report.total_bytes == len(buf) - 3
+        # The tear destroyed (at least) the final record.
+        assert report.dropped_records >= 1
         assert wal.position == len(records) - 1
         wal.append(LocateRecord(t=701.0, query_count=9))
         assert wal.records() == records[:-1] + [LocateRecord(t=701.0, query_count=9)]

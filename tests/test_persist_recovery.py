@@ -23,7 +23,7 @@ import numpy as np
 
 from repro.mapping import GridSpec
 from repro.mapping.incremental import IncrementalMapEngine
-from repro.persist import AdmitRecord, ReapRecord
+from repro.persist import AdmitRecord, BatchRecord, ReapRecord, RecoveryManager
 from repro.testkit import Scenario, run_scenario
 
 #: The quiet single-client deployment every test derives from.
@@ -109,6 +109,85 @@ class TestCrashRecovery:
         ]
         assert seqs, "bounded lane issued no admission seqs"
         assert seqs == sorted(set(seqs))
+
+
+class TestReplayServiceAccounting:
+    def test_replay_does_not_duplicate_service_accounting(self):
+        """The seed-0/campaign-26 fuzz finding, pinned structurally.
+
+        A bounded-lane batch can *start service* before a checkpoint and
+        *commit* after it: the snapshot then already holds its seq in
+        ``_service_order`` (plus its wait/service totals), while its
+        BatchRecord sits in the replayed WAL suffix. Replay must detect
+        that and not re-apply the service-start accounting — the
+        original bug duplicated the seq and double-counted the totals,
+        which the admission-bound invariant's FIFO audit caught.
+        """
+        # The de-faulted shape of the original finding (fuzz master seed
+        # 0, campaign 26): a crowd on a two-worker zero-queue lane with
+        # a parallel task stream keeps batches in service across other
+        # batches' commits, so per-commit checkpoints straddle often.
+        scenario = Scenario(
+            seed=131778450,
+            venue_seed=1065893155,
+            venue_width_m=10.0,
+            venue_depth_m=10.0,
+            glass_walls=2,
+            n_hotspots=3,
+            n_furniture=0,
+            n_clients=4,
+            persist=True,
+            snapshot_every=1,
+            snapshot_retain=999,  # keep every generation for the scan
+            rto_initial_s=2.0,
+            upload_subbatch=30,
+            sfm_workers=2,
+            sfm_queue_limit=0,
+            max_tasks=3,
+            until_s=3_000.0,
+        )
+        deployment, report = _run(scenario)
+        assert report.venue_covered
+        host = deployment.host
+        live_order = deployment.server.sfm_service_order()
+        assert live_order == sorted(set(live_order))  # healthy baseline
+        # Find every checkpoint that straddles an in-service batch: its
+        # snapshot already contains the seq, and the commit's
+        # BatchRecord is in the WAL suffix past the snapshot.
+        straddling = []
+        for snap in host.snapshotter.generations():
+            captured = set(snap.state["_service_order"])
+            suffix_seqs = {
+                r.seq
+                for r in host.wal.records(snap.wal_position)
+                if isinstance(r, BatchRecord) and r.seq is not None
+            }
+            if captured & suffix_seqs:
+                straddling.append(snap)
+        assert straddling, (
+            "scenario produced no checkpoint straddling an in-service "
+            "batch — the regression's trigger condition never occurred"
+        )
+        # Recover from a spread of straddling generations (newest,
+        # oldest, and two between — each full recovery replays a WAL
+        # suffix, so recovering from all ~18 would dominate the suite):
+        # the replayed suffix re-delivers the already-captured commit,
+        # and the recovered service-start audit log must still be
+        # exactly the live one.
+        picked = {0, len(straddling) // 3, (2 * len(straddling)) // 3,
+                  len(straddling) - 1}
+        for snap in (straddling[i] for i in sorted(picked)):
+            result = RecoveryManager(host.wal, snap).recover(deployment.simulator)
+            recovered = result.server.sfm_service_order()
+            assert recovered == live_order, snap.seq
+            assert recovered == sorted(set(recovered)), snap.seq
+            assert result.server.sfm_queue_wait_total_s == (
+                deployment.server.sfm_queue_wait_total_s
+            ), snap.seq
+            assert result.server.sfm_service_time_total_s == (
+                deployment.server.sfm_service_time_total_s
+            ), snap.seq
+            result.server.fence()  # never let the probe server act
 
 
 class TestCrashAtLeaseExpiry:
